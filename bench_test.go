@@ -1,0 +1,280 @@
+package hyparview
+
+// Benchmark harness: one testing.B benchmark per table/figure of the paper's
+// evaluation (§5), plus ablation benches for the design choices DESIGN.md
+// calls out. Each benchmark regenerates its experiment at a reduced scale
+// (the full n=10,000 runs live in cmd/hpv-sim and EXPERIMENTS.md) and
+// reports the experiment's headline quantity via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as a quick-shape regression check.
+
+import (
+	"testing"
+
+	"hyparview/internal/core"
+	"hyparview/internal/metrics"
+	"hyparview/internal/peer"
+	"hyparview/internal/sim"
+)
+
+const (
+	benchN      = 1000
+	benchCycles = 50
+)
+
+func benchOpts(seed uint64) sim.Options {
+	return sim.Options{N: benchN, Seed: seed, StabilizationCycles: benchCycles}
+}
+
+// BenchmarkFig1FanoutReliability regenerates Fig. 1(a): Cyclon's reliability
+// as a function of the gossip fanout.
+func BenchmarkFig1FanoutReliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := sim.Fig1FanoutReliability(sim.Cyclon, benchOpts(uint64(i+1)), []int{2, 4, 6}, 10)
+		if len(tbl.Rows) != 3 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkFig1cFailure50 regenerates Fig. 1(c): the 100-message burst after
+// 50% node failures under Cyclon and Scamp.
+func BenchmarkFig1cFailure50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := sim.Fig1cFailure50(benchOpts(uint64(i+1)), 25)
+		if len(tbl.Rows) != 25 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkFig2MassFailure regenerates Fig. 2 at one failure level (60%) for
+// all four protocols and reports HyParView's mean reliability.
+func BenchmarkFig2MassFailure(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		points, _ := sim.Fig2MassFailure(benchOpts(uint64(i+1)), []int{60}, 30)
+		for _, p := range points {
+			if p.Protocol == sim.HyParView {
+				rel = p.Reliability
+			}
+		}
+	}
+	b.ReportMetric(rel, "hyparview-rel@60%")
+}
+
+// BenchmarkFig3Recovery regenerates one Fig. 3 panel (60% failures) and
+// reports HyParView's final-message reliability.
+func BenchmarkFig3Recovery(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		c := sim.NewCluster(sim.HyParView, benchOpts(uint64(i+1)))
+		c.Stabilize(benchCycles)
+		c.FailFraction(0.6)
+		rels := c.BroadcastBurst(30)
+		last = rels[len(rels)-1]
+	}
+	b.ReportMetric(last, "final-rel")
+}
+
+// BenchmarkFig4HealingTime regenerates Fig. 4 at 40% failures and reports
+// HyParView's healing time in cycles.
+func BenchmarkFig4HealingTime(b *testing.B) {
+	var cycles float64
+	for i := 0; i < b.N; i++ {
+		results, _ := sim.Fig4HealingTime(benchOpts(uint64(i+1)), []int{40}, 5, 50)
+		for _, r := range results {
+			if r.Protocol == sim.HyParView {
+				cycles = float64(r.Cycles)
+			}
+		}
+	}
+	b.ReportMetric(cycles, "healing-cycles")
+}
+
+// BenchmarkTable1GraphProperties regenerates Table 1 and reports HyParView's
+// clustering coefficient.
+func BenchmarkTable1GraphProperties(b *testing.B) {
+	var cc float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := sim.Table1GraphProperties(benchOpts(uint64(i+1)), 50, 10)
+		for _, r := range rows {
+			if r.Protocol == sim.HyParView {
+				cc = r.Clustering
+			}
+		}
+	}
+	b.ReportMetric(cc, "clustering")
+}
+
+// BenchmarkFig5InDegree regenerates Fig. 5's in-degree distributions.
+func BenchmarkFig5InDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := sim.Fig5InDegree(benchOpts(uint64(i + 1)))
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the operational hot paths ---------------------------
+
+// BenchmarkBroadcastFlood measures one full flood over a stabilized
+// 1000-node HyParView overlay (the per-message cost of dissemination).
+func BenchmarkBroadcastFlood(b *testing.B) {
+	c := sim.NewCluster(sim.HyParView, benchOpts(1))
+	c.Stabilize(benchCycles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rel := c.Broadcast(); rel < 1 {
+			b.Fatalf("reliability %v", rel)
+		}
+	}
+}
+
+// BenchmarkBroadcastFanout measures one fanout-4 gossip round over Cyclon.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	c := sim.NewCluster(sim.Cyclon, benchOpts(1))
+	c.Stabilize(benchCycles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Broadcast()
+	}
+}
+
+// BenchmarkMembershipCycle measures one full membership cycle (every node
+// shuffles once) on a 1000-node HyParView overlay.
+func BenchmarkMembershipCycle(b *testing.B) {
+	c := sim.NewCluster(sim.HyParView, benchOpts(1))
+	c.Stabilize(benchCycles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sim.RunCycle()
+	}
+}
+
+// BenchmarkJoin measures the cost of one node joining a 1000-node overlay
+// (JOIN + ARWL random walks + symmetric connects), including the message
+// processing it triggers across the cluster.
+func BenchmarkJoin(b *testing.B) {
+	c := sim.NewCluster(sim.HyParView, benchOpts(1))
+	c.Stabilize(benchCycles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodeID := ID(benchN + i + 1)
+		var nd *core.Node
+		c.Sim.Add(nodeID, func(env peer.Env) peer.Process {
+			nd = core.New(env, core.Config{})
+			return nd
+		})
+		if err := nd.Join(ID(1)); err != nil {
+			b.Fatal(err)
+		}
+		c.Sim.Drain()
+	}
+}
+
+// --- Ablations ----------------------------------------------------------------
+
+// BenchmarkAblationPassiveViewSize sweeps the passive view size and reports
+// post-failure reliability: the paper's stated future work ("relation
+// between passive view size and resilience", §6).
+func BenchmarkAblationPassiveViewSize(b *testing.B) {
+	for _, size := range []int{5, 15, 30, 60} {
+		size := size
+		b.Run(metricName("passive", size), func(b *testing.B) {
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(uint64(i + 1))
+				opts.HyParView = core.Config{PassiveSize: size}
+				c := sim.NewCluster(sim.HyParView, opts)
+				c.Stabilize(benchCycles)
+				c.FailFraction(0.8)
+				rel = metrics.Mean(c.BroadcastBurst(20))
+			}
+			b.ReportMetric(rel, "rel@80%fail")
+		})
+	}
+}
+
+// BenchmarkAblationARWL sweeps the Active Random Walk Length and reports the
+// overlay's in-degree spread (ARWL controls how well joins diffuse).
+func BenchmarkAblationARWL(b *testing.B) {
+	for _, arwl := range []uint8{1, 3, 6, 10} {
+		arwl := arwl
+		b.Run(metricName("arwl", int(arwl)), func(b *testing.B) {
+			var cc float64
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(uint64(i + 1))
+				opts.HyParView = core.Config{ARWL: arwl, PRWL: 1, ShuffleTTL: arwl}
+				c := sim.NewCluster(sim.HyParView, opts)
+				c.Stabilize(benchCycles)
+				cc = c.Snapshot().ClusteringCoefficient()
+			}
+			b.ReportMetric(cc, "clustering")
+		})
+	}
+}
+
+// BenchmarkAblationShuffleMix sweeps the active/passive mix of the shuffle
+// exchange list (ka/kp, §4.4) and reports post-failure reliability.
+func BenchmarkAblationShuffleMix(b *testing.B) {
+	mixes := []struct{ ka, kp int }{{0, 7}, {3, 4}, {5, 2}}
+	for _, mix := range mixes {
+		mix := mix
+		b.Run(metricName("ka", mix.ka), func(b *testing.B) {
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(uint64(i + 1))
+				opts.HyParView = core.Config{ShuffleKa: mix.ka, ShuffleKp: mix.kp}
+				c := sim.NewCluster(sim.HyParView, opts)
+				c.Stabilize(benchCycles)
+				c.FailFraction(0.6)
+				rel = metrics.Mean(c.BroadcastBurst(20))
+			}
+			b.ReportMetric(rel, "rel@60%fail")
+		})
+	}
+}
+
+// BenchmarkAblationPriority compares the NEIGHBOR priority mechanism on/off:
+// without high-priority requests, isolated nodes cannot force themselves
+// back into saturated views (§4.3).
+func BenchmarkAblationPriority(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		disabled := disabled
+		name := "priority-on"
+		if disabled {
+			name = "priority-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(uint64(i + 1))
+				opts.HyParView = core.Config{DisablePriority: disabled}
+				c := sim.NewCluster(sim.HyParView, opts)
+				c.Stabilize(benchCycles)
+				c.FailFraction(0.8)
+				rel = metrics.Mean(c.BroadcastBurst(20))
+			}
+			b.ReportMetric(rel, "rel@80%fail")
+		})
+	}
+}
+
+func metricName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

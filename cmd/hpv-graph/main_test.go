@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hyparview/internal/sim"
+)
+
+func TestParseProto(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    sim.Protocol
+		wantErr bool
+	}{
+		{give: "hyparview", want: sim.HyParView},
+		{give: "HPV", want: sim.HyParView},
+		{give: "cyclon", want: sim.Cyclon},
+		{give: "CyclonAcked", want: sim.CyclonAcked},
+		{give: "acked", want: sim.CyclonAcked},
+		{give: "scamp", want: sim.Scamp},
+		{give: "bogus", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseProto(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseProto(%q) error = %v", tt.give, err)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("parseProto(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRunHealthyOverlay(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-proto", "hyparview", "-n", "150", "-stabilize", "10",
+		"-asp-samples", "20", "-indegree",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"protocol:", "HyParView", "connected:", "true",
+		"symmetry:", "1.0000", "in-degree histogram:",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("output missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestRunWithFailures(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-proto", "hyparview", "-n", "200", "-stabilize", "10",
+		"-fail", "50", "-asp-samples", "10",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "killed 100 of 200") {
+		t.Errorf("failure report missing:\n%s", text)
+	}
+	if !strings.Contains(text, "live nodes:           100") {
+		t.Errorf("live count wrong:\n%s", text)
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-proto", "nope"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

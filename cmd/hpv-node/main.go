@@ -1,0 +1,113 @@
+// Command hpv-node runs a HyParView broadcast node over real TCP: the
+// deployment the paper deferred to future work (§6).
+//
+// Start a contact node, then join others to it and type lines to broadcast:
+//
+//	hpv-node -listen 127.0.0.1:7001
+//	hpv-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//	hpv-node -listen 127.0.0.1:7003 -join 127.0.0.1:7001
+//
+// Every line read from stdin is flooded over the overlay; received
+// broadcasts and periodic view snapshots are printed to stdout.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyparview/internal/transport"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "hpv-node:", err)
+		os.Exit(1)
+	}
+}
+
+// run hosts one node until stdin closes or a stop signal arrives. It is
+// separated from main for testability.
+func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("hpv-node", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:0", "listen address")
+		join   = fs.String("join", "", "contact node address (empty = start a new overlay)")
+		period = fs.Duration("cycle", time.Second, "membership cycle period (ΔT)")
+		views  = fs.Duration("views", 5*time.Second, "view snapshot print period (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Deliveries are printed from the agent goroutine; serialize them with
+	// the main loop's prints through a channel.
+	delivered := make(chan string, 16)
+	agent, err := transport.NewAgent(*listen, transport.AgentConfig{
+		CyclePeriod: *period,
+		OnDeliver: func(p []byte) {
+			select {
+			case delivered <- string(p):
+			default: // console writer stalled; drop the echo, not the node
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+	fmt.Fprintf(stdout, "node %v listening on %s\n", agent.Self(), agent.Addr())
+
+	if *join != "" {
+		if err := agent.Join(*join); err != nil {
+			return fmt.Errorf("join: %w", err)
+		}
+		fmt.Fprintf(stdout, "joined overlay via %s\n", *join)
+	}
+
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+
+	var viewTick <-chan time.Time
+	if *views > 0 {
+		t := time.NewTicker(*views)
+		defer t.Stop()
+		viewTick = t.C
+	}
+
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return nil
+			}
+			if line == "" {
+				continue
+			}
+			if err := agent.Broadcast([]byte(line)); err != nil {
+				return fmt.Errorf("broadcast: %w", err)
+			}
+		case m := <-delivered:
+			fmt.Fprintf(stdout, "<< %s\n", m)
+		case <-viewTick:
+			fmt.Fprintf(stdout, "-- active=%v passive(%d)\n",
+				agent.ActiveView(), len(agent.PassiveView()))
+		case <-stop:
+			fmt.Fprintln(stdout, "shutting down")
+			return nil
+		}
+	}
+}

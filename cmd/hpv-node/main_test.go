@@ -1,0 +1,141 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a concurrency-safe string sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func waitContains(t *testing.T, buf *syncBuffer, frag string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(buf.String(), frag) {
+		if time.Now().After(deadline) {
+			t.Fatalf("output never contained %q:\n%s", frag, buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-no-such-flag"}, strings.NewReader(""), &out, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunJoinFailure(t *testing.T) {
+	var out syncBuffer
+	err := run([]string{"-join", "127.0.0.1:1"}, strings.NewReader(""), &out, nil)
+	if err == nil {
+		t.Error("join to a dead contact succeeded")
+	}
+}
+
+func TestRunEOFTerminates(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-views", "0"}, strings.NewReader(""), &out, nil)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not terminate on stdin EOF")
+	}
+	waitContains(t, &out, "listening on")
+}
+
+func TestRunSignalTerminates(t *testing.T) {
+	var out syncBuffer
+	stop := make(chan os.Signal, 1)
+	// Keep stdin open: the blocked reader goroutine exits with the process.
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-views", "0"}, pr, &out, stop)
+	}()
+	waitContains(t, &out, "listening on")
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not terminate on signal")
+	}
+	waitContains(t, &out, "shutting down")
+}
+
+func TestTwoNodesBroadcastEndToEnd(t *testing.T) {
+	// Contact node.
+	var contactOut syncBuffer
+	contactStdin, contactW := io.Pipe()
+	defer contactW.Close()
+	contactDone := make(chan error, 1)
+	go func() {
+		contactDone <- run([]string{"-listen", "127.0.0.1:0", "-views", "0", "-cycle", "100ms"},
+			contactStdin, &contactOut, nil)
+	}()
+	waitContains(t, &contactOut, "listening on")
+	addr := extractAddr(t, contactOut.String())
+
+	// Second node joins and broadcasts one line from stdin.
+	var peerOut syncBuffer
+	peerStdin, peerW := io.Pipe()
+	peerDone := make(chan error, 1)
+	go func() {
+		peerDone <- run([]string{"-join", addr, "-views", "0", "-cycle", "100ms"},
+			peerStdin, &peerOut, nil)
+	}()
+	waitContains(t, &peerOut, "joined overlay")
+	if _, err := peerW.Write([]byte("ping over tcp\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitContains(t, &contactOut, "<< ping over tcp")
+	_ = peerW.Close()
+	<-peerDone
+	_ = contactW.Close()
+	<-contactDone
+}
+
+// extractAddr pulls "listening on <addr>" out of the node banner.
+func extractAddr(t *testing.T, s string) string {
+	t.Helper()
+	const marker = "listening on "
+	i := strings.Index(s, marker)
+	if i < 0 {
+		t.Fatalf("no banner in %q", s)
+	}
+	rest := s[i+len(marker):]
+	if j := strings.IndexByte(rest, '\n'); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest)
+}

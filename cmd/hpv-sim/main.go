@@ -1,0 +1,161 @@
+// Command hpv-sim regenerates the tables and figures of the HyParView paper
+// (DSN 2007) from this repository's simulator.
+//
+// Usage:
+//
+//	hpv-sim -exp fig2 -n 10000 -msgs 1000
+//	hpv-sim -exp all -n 10000 -csv
+//
+// Experiments: fig1 (fanout×reliability, Cyclon+Scamp), fig1c (50% failure
+// burst), fig2 (mean reliability vs failure %), fig3 (per-message recovery
+// series), fig4 (healing time in cycles), table1 (graph properties), fig5
+// (in-degree distribution), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hyparview/internal/metrics"
+	"hyparview/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpv-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hpv-sim", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|all")
+		n      = fs.Int("n", 10000, "cluster size (paper: 10000)")
+		seed   = fs.Uint64("seed", 1, "base random seed")
+		msgs   = fs.Int("msgs", 1000, "messages per burst for fig2 (paper: 1000)")
+		fig3M  = fs.Int("fig3msgs", 100, "messages per series for fig3/fig1c")
+		cycles = fs.Int("stabilize", 50, "stabilization cycles (paper: 50)")
+		fanout = fs.Int("fanout", 4, "gossip fanout for Cyclon/Scamp (paper: 4)")
+		pcts   = fs.String("pcts", "", "comma-separated failure percentages (default per experiment)")
+		asp    = fs.Int("asp-samples", 200, "BFS sources for avg shortest path (0 = exact)")
+		runs   = fs.Int("runs", 1, "independent seeded runs to aggregate for fig2/fig4")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := sim.Options{
+		N:                   *n,
+		Seed:                *seed,
+		Fanout:              *fanout,
+		StabilizationCycles: *cycles,
+	}
+	emit := func(t *metrics.Table) {
+		if *csv {
+			fmt.Fprintf(out, "# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Fprintln(out, t.String())
+		}
+	}
+	runOne := func(name string) error {
+		start := time.Now()
+		defer func() {
+			fmt.Fprintf(out, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}()
+		switch name {
+		case "fig1":
+			fanouts := []int{1, 2, 3, 4, 5, 6, 7}
+			emit(sim.Fig1FanoutReliability(sim.Cyclon, opts, fanouts, 50))
+			emit(sim.Fig1FanoutReliability(sim.Scamp, opts, fanouts, 50))
+		case "fig1c":
+			emit(sim.Fig1cFailure50(opts, *fig3M))
+		case "fig2":
+			levels := parsePcts(*pcts, []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 95})
+			if *runs > 1 {
+				emit(sim.Fig2MassFailureRuns(opts, levels, *msgs, *runs))
+			} else {
+				_, t := sim.Fig2MassFailure(opts, levels, *msgs)
+				emit(t)
+			}
+		case "fig3":
+			for _, pct := range parsePcts(*pcts, []int{20, 40, 60, 70, 80, 95}) {
+				emit(sim.Fig3Recovery(opts, pct, *fig3M))
+			}
+		case "fig4":
+			levels := parsePcts(*pcts, []int{10, 20, 30, 40, 50, 60, 70, 80, 90})
+			if *runs > 1 {
+				emit(sim.Fig4HealingTimeRuns(opts, levels, 10, 200, *runs))
+			} else {
+				_, t := sim.Fig4HealingTime(opts, levels, 10, 200)
+				emit(t)
+			}
+		case "table1":
+			_, t := sim.Table1GraphProperties(opts, *asp, 50)
+			emit(t)
+		case "fig5":
+			emit(sim.Fig5InDegree(opts))
+		case "overhead":
+			// Extension: the paper's §6 PlanetLab packet-overhead question.
+			_, t := sim.Overhead(opts, 10, 50)
+			emit(t)
+		case "churn":
+			// Extension: sustained churn, 1%/cycle for 30 cycles.
+			_, t := sim.Churn(opts, 1.0, 30, 5)
+			emit(t)
+		case "passive":
+			// Extension: passive view size vs resilience (§6 future work).
+			emit(sim.PassiveResilience(opts, []int{5, 10, 20, 30, 60}, 80, 50))
+		case "hetero":
+			// Extension: heterogeneous degrees (§6 adaptive fanout idea).
+			emit(sim.HeterogeneousDegrees(opts, 10, 15))
+		case "partition":
+			// Extension: 30/70 network cut for 3 cycles, then heal.
+			_, t := sim.PartitionHeal(opts, 0.3, 3, 10)
+			emit(t)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+	if *exp == "all" {
+		for _, name := range []string{"fig1", "fig1c", "fig2", "fig3", "fig4", "table1", "fig5"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if *exp == "extensions" {
+		for _, name := range []string{"overhead", "churn", "passive", "hetero", "partition"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(*exp)
+}
+
+// parsePcts parses "20,40,60" with a fallback default.
+func parsePcts(s string, def []int) []int {
+	if strings.TrimSpace(s) == "" {
+		return def
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err == nil && v >= 0 && v < 100 {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParsePcts(t *testing.T) {
+	def := []int{10, 20}
+	tests := []struct {
+		name string
+		give string
+		want []int
+	}{
+		{name: "empty uses default", give: "", want: def},
+		{name: "spaces ok", give: " 30 , 40 ", want: []int{30, 40}},
+		{name: "garbage filtered", give: "30,xx,101,-5", want: []int{30}},
+		{name: "all garbage falls back", give: "xx,yy", want: def},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := parsePcts(tt.give, def); !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("parsePcts(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunSingleExperimentSmall(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "table1", "-n", "150", "-stabilize", "10", "-asp-samples", "20",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Table1", "Cyclon", "Scamp", "HyParView"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "fig5", "-n", "120", "-stabilize", "5", "-csv",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "protocol,in-degree,nodes") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestRunCustomPcts(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "fig3", "-n", "120", "-stabilize", "5", "-pcts", "50", "-fig3msgs", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "50% failures") {
+		t.Errorf("custom pct not honored:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "20% failures") {
+		t.Error("default pcts ran despite -pcts")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExtensionExperiments(t *testing.T) {
+	for _, exp := range []string{"overhead", "hetero"} {
+		var out strings.Builder
+		err := run([]string{"-exp", exp, "-n", "120", "-stabilize", "5"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

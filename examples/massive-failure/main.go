@@ -1,0 +1,44 @@
+// Massive-failure demo: the paper's headline scenario (§5.2-5.3). Build a
+// 2,000-node overlay per protocol, kill 80% of the nodes simultaneously
+// (worm / datacenter-outage scale), and watch per-message reliability as
+// broadcasts flow — no membership cycles allowed, reactive repair only.
+//
+//	go run ./examples/massive-failure
+package main
+
+import (
+	"fmt"
+
+	"hyparview"
+	"hyparview/internal/metrics"
+)
+
+func main() {
+	const (
+		n       = 2000
+		failPct = 0.80
+		burst   = 40
+	)
+	fmt.Printf("population %d, killing %.0f%%, then %d broadcasts back-to-back\n\n",
+		n, failPct*100, burst)
+
+	protocols := []hyparview.Protocol{
+		hyparview.ProtoHyParView,
+		hyparview.ProtoCyclonAcked,
+		hyparview.ProtoCyclon,
+		hyparview.ProtoScamp,
+	}
+	for _, proto := range protocols {
+		cluster := hyparview.NewCluster(proto, hyparview.ClusterOptions{N: n, Seed: 7})
+		cluster.Stabilize(50)
+		cluster.FailFraction(failPct)
+
+		rels := cluster.BroadcastBurst(burst)
+		fmt.Printf("%-12s first=%.3f msg10=%.3f msg25=%.3f last=%.3f mean=%.3f\n",
+			proto, rels[0], rels[9], rels[24], rels[burst-1], metrics.Mean(rels))
+	}
+
+	fmt.Println("\nHyParView recovers within the first broadcasts: every flood tests")
+	fmt.Println("all active-view links, failures promote passive-view backups, and")
+	fmt.Println("the symmetric overlay keeps every reachable node also able to receive.")
+}

@@ -1,0 +1,121 @@
+// Package hyparview is a Go implementation of the HyParView membership
+// protocol for reliable gossip-based broadcast (Leitão, Pereira, Rodrigues —
+// DSN 2007 / DI-FCUL TR-07-13), together with everything its evaluation
+// needs: a deterministic protocol simulator, the Cyclon, CyclonAcked and
+// SCAMP baselines, a flood/fanout gossip broadcast layer, overlay graph
+// analysis, and a real TCP transport.
+//
+// # Quick start (real TCP)
+//
+//	a, err := hyparview.NewAgent("127.0.0.1:0", hyparview.AgentConfig{
+//		CyclePeriod: time.Second,
+//		OnDeliver:   func(p []byte) { fmt.Printf("got %q\n", p) },
+//	})
+//	// ... a.Join(contactAddr), a.Broadcast([]byte("hello")), a.Close()
+//
+// # Quick start (simulation)
+//
+//	c := hyparview.NewCluster(hyparview.ProtoHyParView, hyparview.ClusterOptions{N: 1000})
+//	c.Stabilize(50)
+//	fmt.Println(c.Broadcast()) // => 1 (reliability of one flood)
+//
+// The facade below re-exports the library's building blocks; the
+// implementation lives in internal/ packages (one per subsystem — see
+// DESIGN.md for the inventory).
+package hyparview
+
+import (
+	"hyparview/internal/core"
+	"hyparview/internal/cyclon"
+	"hyparview/internal/gossip"
+	"hyparview/internal/id"
+	"hyparview/internal/scamp"
+	"hyparview/internal/sim"
+	"hyparview/internal/transport"
+)
+
+// ID identifies a node in the overlay.
+type ID = id.ID
+
+// FromAddr derives a stable node identifier from a network address.
+func FromAddr(addr string) ID { return id.FromAddr(addr) }
+
+// Config carries the HyParView protocol parameters (paper §5.1 defaults via
+// DefaultConfig).
+type Config = core.Config
+
+// DefaultConfig returns the paper's HyParView parameters: active view 5,
+// passive view 30, ARWL 6, PRWL 3, shuffle ka=3 kp=4.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Listener receives active-view change notifications (NeighborUp /
+// NeighborDown) from a HyParView node.
+type Listener = core.Listener
+
+// DownReason explains why a neighbor left the active view.
+type DownReason = core.DownReason
+
+// Neighbor-down reasons.
+const (
+	DownFailed       = core.DownFailed
+	DownDisconnected = core.DownDisconnected
+	DownEvicted      = core.DownEvicted
+)
+
+// CyclonConfig carries the Cyclon baseline's parameters.
+type CyclonConfig = cyclon.Config
+
+// ScampConfig carries the SCAMP baseline's parameters.
+type ScampConfig = scamp.Config
+
+// Agent is a HyParView node running over real TCP: an actor-style wrapper
+// around the protocol core, the flood broadcast layer and the framed TCP
+// transport.
+type Agent = transport.Agent
+
+// AgentConfig configures a TCP agent.
+type AgentConfig = transport.AgentConfig
+
+// TransportConfig tunes the TCP transport's timeouts.
+type TransportConfig = transport.Config
+
+// NewAgent starts a HyParView node listening on listenAddr.
+func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
+	return transport.NewAgent(listenAddr, cfg)
+}
+
+// Protocol selects a membership protocol for simulated clusters.
+type Protocol = sim.Protocol
+
+// The four protocols of the paper's evaluation.
+const (
+	ProtoHyParView   = sim.HyParView
+	ProtoCyclon      = sim.Cyclon
+	ProtoCyclonAcked = sim.CyclonAcked
+	ProtoScamp       = sim.Scamp
+)
+
+// Cluster is a simulated population of nodes under one membership protocol,
+// following the paper's §5 methodology (one-by-one joins, stabilization
+// cycles, random mass failures, broadcast bursts).
+type Cluster = sim.Cluster
+
+// ClusterOptions configures a simulated cluster.
+type ClusterOptions = sim.Options
+
+// NewCluster builds a simulated cluster of opts.N nodes running proto.
+func NewCluster(proto Protocol, opts ClusterOptions) *Cluster {
+	return sim.NewCluster(proto, opts)
+}
+
+// GossipMode selects the broadcast forwarding strategy.
+type GossipMode = gossip.Mode
+
+// Broadcast forwarding modes.
+const (
+	// GossipFlood forwards to all overlay neighbors except the sender
+	// (HyParView's deterministic dissemination).
+	GossipFlood = gossip.Flood
+	// GossipFanout forwards to a fixed number of random view members.
+	GossipFanout = gossip.Fanout
+)

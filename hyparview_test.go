@@ -1,0 +1,99 @@
+package hyparview_test
+
+// Facade tests: exercise the library exactly as an external user would,
+// through the root package's exported API only.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyparview"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := hyparview.DefaultConfig()
+	if cfg.ActiveSize != 5 || cfg.PassiveSize != 30 || cfg.ARWL != 6 || cfg.PRWL != 3 {
+		t.Errorf("defaults diverge from the paper's §5.1: %+v", cfg)
+	}
+	if cfg.ShuffleKa != 3 || cfg.ShuffleKp != 4 {
+		t.Errorf("shuffle defaults diverge from the paper's §5.1: %+v", cfg)
+	}
+}
+
+func TestFromAddrStable(t *testing.T) {
+	if hyparview.FromAddr("h:1") != hyparview.FromAddr("h:1") {
+		t.Error("FromAddr not stable")
+	}
+}
+
+func TestSimulatedClusterEndToEnd(t *testing.T) {
+	c := hyparview.NewCluster(hyparview.ProtoHyParView, hyparview.ClusterOptions{
+		N:    200,
+		Seed: 4,
+	})
+	c.Stabilize(20)
+	if rel := c.Broadcast(); rel != 1.0 {
+		t.Errorf("reliability = %v, want 1.0", rel)
+	}
+	if !c.Snapshot().IsConnected() {
+		t.Error("overlay disconnected")
+	}
+	c.FailFraction(0.5)
+	rels := c.BroadcastBurst(5)
+	if rels[4] < 0.98 {
+		t.Errorf("post-failure reliability = %v", rels[4])
+	}
+}
+
+func TestAllProtocolConstantsBuildClusters(t *testing.T) {
+	for _, p := range []hyparview.Protocol{
+		hyparview.ProtoHyParView, hyparview.ProtoCyclon,
+		hyparview.ProtoCyclonAcked, hyparview.ProtoScamp,
+	} {
+		c := hyparview.NewCluster(p, hyparview.ClusterOptions{N: 60, Seed: 9})
+		if got := c.Sim.AliveCount(); got != 60 {
+			t.Errorf("%v: alive = %d", p, got)
+		}
+	}
+}
+
+func TestTCPAgentsEndToEnd(t *testing.T) {
+	var delivered atomic.Int64
+	newAgent := func() *hyparview.Agent {
+		a, err := hyparview.NewAgent("127.0.0.1:0", hyparview.AgentConfig{
+			OnDeliver: func([]byte) { delivered.Add(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = a.Close() })
+		return a
+	}
+	contact := newAgent()
+	peers := make([]*hyparview.Agent, 5)
+	for i := range peers {
+		peers[i] = newAgent()
+		if err := peers[i].Join(contact.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if err := peers[2].Broadcast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for delivered.Load() < 6 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := delivered.Load(); got != 6 {
+		t.Errorf("delivered = %d, want 6", got)
+	}
+}
+
+func TestGossipModeConstants(t *testing.T) {
+	if hyparview.GossipFlood.String() != "flood" || hyparview.GossipFanout.String() != "fanout" {
+		t.Error("gossip mode re-exports broken")
+	}
+}

@@ -1,0 +1,120 @@
+// Package core implements the HyParView membership protocol (Leitão,
+// Pereira, Rodrigues — "HyParView: a membership protocol for reliable
+// gossip-based broadcast", DI–FCUL TR–07–13 / DSN 2007).
+//
+// Each node maintains two views (paper §4.1):
+//
+//   - a small symmetric ACTIVE view (size fanout+1) over which broadcasts are
+//     flooded deterministically and whose links double as failure detectors
+//     (TCP in a deployment, synchronous send errors in the simulator);
+//   - a larger PASSIVE view of backup identifiers, refreshed by periodic
+//     TTL-bounded shuffles, from which replacements are promoted whenever an
+//     active member fails.
+//
+// The package is transport-agnostic: it speaks through peer.Env and is hosted
+// either by the deterministic simulator (internal/netsim) or by the real TCP
+// transport (internal/transport).
+package core
+
+import "fmt"
+
+// Config carries the HyParView protocol parameters. The defaults mirror the
+// paper's experimental setting (§5.1) for a 10,000-node system.
+type Config struct {
+	// ActiveSize is the maximum size of the active view. The paper sets it
+	// to fanout+1 = 5: links are symmetric, so one slot is "spent" on the
+	// peer a message arrived from.
+	ActiveSize int
+
+	// PassiveSize is the maximum size of the passive view (paper: 30, which
+	// must exceed log n for connectivity under massive failures).
+	PassiveSize int
+
+	// ARWL (Active Random Walk Length) is the TTL of FORWARDJOIN random
+	// walks (paper: 6).
+	ARWL uint8
+
+	// PRWL (Passive Random Walk Length) is the TTL value at which a
+	// FORWARDJOIN walk also deposits the joiner into the passive view
+	// (paper: 3).
+	PRWL uint8
+
+	// ShuffleKa is the number of active-view members included in a shuffle
+	// exchange list (paper: 3).
+	ShuffleKa int
+
+	// ShuffleKp is the number of passive-view members included in a shuffle
+	// exchange list (paper: 4). Together with the node's own identifier the
+	// paper's total shuffle list size is 8.
+	ShuffleKp int
+
+	// ShuffleTTL is the random-walk TTL of SHUFFLE requests. The paper
+	// propagates them "just like FORWARDJOIN requests"; we default to ARWL.
+	ShuffleTTL uint8
+
+	// DisablePriority turns off the high/low NEIGHBOR priority mechanism
+	// (every request is treated as low priority). Used only by the ablation
+	// benchmarks; the paper's protocol always uses priorities.
+	DisablePriority bool
+}
+
+// DefaultConfig returns the paper's §5.1 parameters.
+func DefaultConfig() Config {
+	return Config{
+		ActiveSize:  5,
+		PassiveSize: 30,
+		ARWL:        6,
+		PRWL:        3,
+		ShuffleKa:   3,
+		ShuffleKp:   4,
+		ShuffleTTL:  6,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.ActiveSize <= 0:
+		return fmt.Errorf("core: ActiveSize must be positive, got %d", c.ActiveSize)
+	case c.PassiveSize <= 0:
+		return fmt.Errorf("core: PassiveSize must be positive, got %d", c.PassiveSize)
+	case c.PRWL > c.ARWL:
+		return fmt.Errorf("core: PRWL (%d) must not exceed ARWL (%d)", c.PRWL, c.ARWL)
+	case c.ShuffleKa < 0 || c.ShuffleKp < 0:
+		return fmt.Errorf("core: shuffle sample sizes must be non-negative (ka=%d kp=%d)",
+			c.ShuffleKa, c.ShuffleKp)
+	case c.ShuffleKa > c.ActiveSize:
+		return fmt.Errorf("core: ShuffleKa (%d) exceeds ActiveSize (%d)", c.ShuffleKa, c.ActiveSize)
+	case c.ShuffleKp > c.PassiveSize:
+		return fmt.Errorf("core: ShuffleKp (%d) exceeds PassiveSize (%d)", c.ShuffleKp, c.PassiveSize)
+	}
+	return nil
+}
+
+// WithDefaults fills zero-valued fields from DefaultConfig so that callers
+// can override only the parameters they care about.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.ActiveSize == 0 {
+		c.ActiveSize = d.ActiveSize
+	}
+	if c.PassiveSize == 0 {
+		c.PassiveSize = d.PassiveSize
+	}
+	if c.ARWL == 0 {
+		c.ARWL = d.ARWL
+	}
+	if c.PRWL == 0 {
+		c.PRWL = d.PRWL
+	}
+	if c.ShuffleKa == 0 {
+		c.ShuffleKa = d.ShuffleKa
+	}
+	if c.ShuffleKp == 0 {
+		c.ShuffleKp = d.ShuffleKp
+	}
+	if c.ShuffleTTL == 0 {
+		c.ShuffleTTL = c.ARWL
+	}
+	return c
+}

@@ -1,0 +1,69 @@
+package core
+
+import "hyparview/internal/id"
+
+// Listener receives membership change notifications. Applications built on
+// HyParView (tree-based broadcast like Plumtree, partial-view replication,
+// connection pools) need to track the current overlay neighbors; these
+// callbacks fire synchronously from the protocol goroutine whenever the
+// active view changes.
+//
+// Callbacks must be fast and must not call back into the Node.
+type Listener struct {
+	// NeighborUp fires after peer enters the active view.
+	NeighborUp func(peer id.ID)
+	// NeighborDown fires after peer leaves the active view, for any reason
+	// (failure, DISCONNECT, eviction by a higher-priority member). The
+	// reason is reported alongside.
+	NeighborDown func(peer id.ID, reason DownReason)
+}
+
+// DownReason explains why a neighbor left the active view.
+type DownReason uint8
+
+// Down reasons.
+const (
+	// DownFailed: the peer was detected as crashed (send failure or
+	// connection reset).
+	DownFailed DownReason = iota + 1
+	// DownDisconnected: the peer sent us a DISCONNECT notification.
+	DownDisconnected
+	// DownEvicted: we evicted the (live) peer to make room in the active
+	// view; it was demoted to the passive view.
+	DownEvicted
+)
+
+// String names the reason.
+func (r DownReason) String() string {
+	switch r {
+	case DownFailed:
+		return "failed"
+	case DownDisconnected:
+		return "disconnected"
+	case DownEvicted:
+		return "evicted"
+	default:
+		return "unknown"
+	}
+}
+
+// SetListener installs (or replaces, or removes with Listener{}) the
+// membership listener. It must be called from the protocol goroutine — in
+// practice right after New, before the node processes traffic.
+func (n *Node) SetListener(l Listener) {
+	n.listener = l
+}
+
+// notifyUp fires the NeighborUp callback.
+func (n *Node) notifyUp(peer id.ID) {
+	if n.listener.NeighborUp != nil {
+		n.listener.NeighborUp(peer)
+	}
+}
+
+// notifyDown fires the NeighborDown callback.
+func (n *Node) notifyDown(peer id.ID, reason DownReason) {
+	if n.listener.NeighborDown != nil {
+		n.listener.NeighborDown(peer, reason)
+	}
+}

@@ -1,0 +1,202 @@
+// Package gossip implements the broadcast protocol of the paper's
+// evaluation (§5): a node forwards a message the first time it receives it,
+// with no a-priori bound on the number of gossip rounds.
+//
+// Two forwarding modes are supported:
+//
+//   - Flood: forward to every overlay neighbor except the arrival link. This
+//     is HyParView's deterministic dissemination over the symmetric active
+//     view (§4.1).
+//   - Fanout(t): forward to t members chosen at random from the partial
+//     view. This is the classic gossip used on top of Cyclon and SCAMP.
+//
+// Send failures (peer.ErrPeerDown, i.e. a broken TCP connection) are passed
+// to the membership protocol via OnPeerDown, which is how HyParView and
+// CyclonAcked detect failures during dissemination while plain Cyclon and
+// SCAMP ignore them.
+package gossip
+
+import (
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+)
+
+// Mode selects the forwarding strategy.
+type Mode uint8
+
+// Forwarding modes.
+const (
+	// Flood forwards to all neighbors except the sender (HyParView).
+	Flood Mode = iota + 1
+	// Fanout forwards to Config.Fanout random view members (Cyclon, SCAMP).
+	Fanout
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Flood:
+		return "flood"
+	case Fanout:
+		return "fanout"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a gossip node.
+type Config struct {
+	// Mode is the forwarding strategy.
+	Mode Mode
+
+	// Fanout is the per-hop fan-out in Fanout mode (paper §5.1: 4).
+	Fanout int
+
+	// ReportPeerDown controls whether send failures are reported to the
+	// membership protocol's OnPeerDown. True for HyParView (TCP failure
+	// detector) and CyclonAcked (acknowledgments); false for plain Cyclon
+	// and SCAMP whose gossip is fire-and-forget.
+	ReportPeerDown bool
+}
+
+// Delivery is the callback invoked exactly once per locally delivered
+// broadcast.
+type Delivery func(round uint64, payload []byte, hops int)
+
+// Node wires a membership protocol instance to the broadcast layer. It
+// implements peer.Process: broadcast traffic is consumed here, everything
+// else is handed to the membership protocol.
+type Node struct {
+	env        peer.Env
+	membership peer.Membership
+	cfg        Config
+	seen       map[uint64]struct{}
+	onDeliver  Delivery
+
+	// Counters for the evaluation.
+	delivered  uint64
+	duplicates uint64
+	forwarded  uint64
+	sendFails  uint64
+}
+
+var _ peer.Process = (*Node)(nil)
+
+// New builds a gossip node over membership. onDeliver may be nil.
+func New(env peer.Env, membership peer.Membership, cfg Config, onDeliver Delivery) *Node {
+	if cfg.Mode == 0 {
+		cfg.Mode = Flood
+	}
+	if cfg.Mode == Fanout && cfg.Fanout <= 0 {
+		cfg.Fanout = 4
+	}
+	return &Node{
+		env:        env,
+		membership: membership,
+		cfg:        cfg,
+		seen:       make(map[uint64]struct{}),
+		onDeliver:  onDeliver,
+	}
+}
+
+// Membership returns the wrapped membership protocol.
+func (n *Node) Membership() peer.Membership { return n.membership }
+
+// Deliver implements peer.Process.
+func (n *Node) Deliver(from id.ID, m msg.Message) {
+	if m.Type != msg.Gossip {
+		n.membership.Deliver(from, m)
+		return
+	}
+	n.receiveGossip(from, m)
+}
+
+// OnCycle implements peer.Process by delegating to the membership protocol.
+func (n *Node) OnCycle() { n.membership.OnCycle() }
+
+// Broadcast emits a new message with the given round identifier and payload
+// from this node. Round identifiers must be unique per message (the
+// experiment harness or an application-level counter provides them).
+func (n *Node) Broadcast(round uint64, payload []byte) {
+	if _, dup := n.seen[round]; dup {
+		return
+	}
+	n.seen[round] = struct{}{}
+	n.delivered++
+	if n.onDeliver != nil {
+		n.onDeliver(round, payload, 0)
+	}
+	n.forward(id.Nil, msg.Message{
+		Type:    msg.Gossip,
+		Sender:  n.env.Self(),
+		Round:   round,
+		Hops:    0,
+		Payload: payload,
+	})
+}
+
+// receiveGossip handles one incoming broadcast copy.
+func (n *Node) receiveGossip(from id.ID, m msg.Message) {
+	if _, dup := n.seen[m.Round]; dup {
+		n.duplicates++
+		return
+	}
+	n.seen[m.Round] = struct{}{}
+	n.delivered++
+	if n.onDeliver != nil {
+		n.onDeliver(m.Round, m.Payload, int(m.Hops)+1)
+	}
+	fwd := m
+	fwd.Sender = n.env.Self()
+	fwd.Hops = m.Hops + 1
+	n.forward(from, fwd)
+}
+
+// forward relays m to the mode's targets, excluding the arrival link.
+func (n *Node) forward(from id.ID, m msg.Message) {
+	var targets []id.ID
+	switch n.cfg.Mode {
+	case Flood:
+		targets = n.membership.GossipTargets(0, from)
+	case Fanout:
+		targets = n.membership.GossipTargets(n.cfg.Fanout, from)
+	}
+	for _, t := range targets {
+		if err := n.env.Send(t, m); err != nil {
+			n.sendFails++
+			if n.cfg.ReportPeerDown {
+				// This is the paper's failure-detection moment: the entire
+				// broadcast overlay is implicitly tested at every broadcast
+				// (§4.1 item iii).
+				n.membership.OnPeerDown(t)
+			}
+			continue
+		}
+		n.forwarded++
+	}
+}
+
+// Counters returns (delivered, duplicates, forwarded, sendFailures).
+func (n *Node) Counters() (delivered, duplicates, forwarded, sendFails uint64) {
+	return n.delivered, n.duplicates, n.forwarded, n.sendFails
+}
+
+// Seen reports whether the node has delivered round.
+func (n *Node) Seen(round uint64) bool {
+	_, ok := n.seen[round]
+	return ok
+}
+
+// ResetSeen clears the delivered-message table; experiments spanning many
+// thousands of rounds use this to bound memory.
+func (n *Node) ResetSeen() {
+	n.seen = make(map[uint64]struct{})
+}
+
+// OnPeerDown implements peer.FailureObserver: connection-level failure
+// notifications from the environment (TCP resets for watched links) are
+// forwarded to the membership protocol.
+func (n *Node) OnPeerDown(peerID id.ID) {
+	n.membership.OnPeerDown(peerID)
+}

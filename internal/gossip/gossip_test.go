@@ -1,0 +1,269 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+	"hyparview/internal/rng"
+)
+
+// fakeMembership is a scriptable peer.Membership.
+type fakeMembership struct {
+	neighbors []id.ID
+	downs     []id.ID
+	delivered []msg.Message
+	cycles    int
+}
+
+var _ peer.Membership = (*fakeMembership)(nil)
+
+func (f *fakeMembership) Deliver(_ id.ID, m msg.Message) { f.delivered = append(f.delivered, m) }
+func (f *fakeMembership) OnCycle()                       { f.cycles++ }
+func (f *fakeMembership) Neighbors() []id.ID             { return append([]id.ID(nil), f.neighbors...) }
+func (f *fakeMembership) OnPeerDown(p id.ID)             { f.downs = append(f.downs, p) }
+
+func (f *fakeMembership) GossipTargets(fanout int, exclude id.ID) []id.ID {
+	var out []id.ID
+	for _, n := range f.neighbors {
+		if n != exclude {
+			out = append(out, n)
+		}
+	}
+	if fanout > 0 && len(out) > fanout {
+		out = out[:fanout]
+	}
+	return out
+}
+
+// fakeEnv records sends.
+type fakeEnv struct {
+	self id.ID
+	rand *rng.Rand
+	down map[id.ID]bool
+	sent []sentMsg
+}
+
+type sentMsg struct {
+	to id.ID
+	m  msg.Message
+}
+
+var _ peer.Env = (*fakeEnv)(nil)
+
+func newFakeEnv(self id.ID) *fakeEnv {
+	return &fakeEnv{self: self, rand: rng.New(1), down: make(map[id.ID]bool)}
+}
+
+func (e *fakeEnv) Self() id.ID     { return e.self }
+func (e *fakeEnv) Rand() *rng.Rand { return e.rand }
+func (e *fakeEnv) Watch(id.ID)     {}
+func (e *fakeEnv) Unwatch(id.ID)   {}
+func (e *fakeEnv) Probe(id.ID) error {
+	return nil
+}
+
+func (e *fakeEnv) Send(dst id.ID, m msg.Message) error {
+	if e.down[dst] {
+		return fmt.Errorf("send: %w", peer.ErrPeerDown)
+	}
+	e.sent = append(e.sent, sentMsg{to: dst, m: m})
+	return nil
+}
+
+func TestBroadcastFloodsAllNeighbors(t *testing.T) {
+	env := newFakeEnv(1)
+	mem := &fakeMembership{neighbors: []id.ID{2, 3, 4}}
+	var delivered []uint64
+	n := New(env, mem, Config{Mode: Flood}, func(r uint64, _ []byte, _ int) {
+		delivered = append(delivered, r)
+	})
+	n.Broadcast(7, []byte("x"))
+	if len(env.sent) != 3 {
+		t.Fatalf("sent to %d peers, want 3", len(env.sent))
+	}
+	for _, s := range env.sent {
+		if s.m.Type != msg.Gossip || s.m.Round != 7 || s.m.Hops != 0 {
+			t.Errorf("bad gossip frame: %+v", s.m)
+		}
+	}
+	if len(delivered) != 1 || delivered[0] != 7 {
+		t.Errorf("local delivery = %v, want [7]", delivered)
+	}
+}
+
+func TestReceiveForwardsOnceExcludingSender(t *testing.T) {
+	env := newFakeEnv(1)
+	mem := &fakeMembership{neighbors: []id.ID{2, 3, 4}}
+	n := New(env, mem, Config{Mode: Flood}, nil)
+	g := msg.Message{Type: msg.Gossip, Sender: 2, Round: 9, Hops: 3}
+	n.Deliver(2, g)
+	if len(env.sent) != 2 {
+		t.Fatalf("forwarded to %d peers, want 2 (sender excluded)", len(env.sent))
+	}
+	for _, s := range env.sent {
+		if s.to == 2 {
+			t.Error("message forwarded back to sender")
+		}
+		if s.m.Hops != 4 {
+			t.Errorf("hops = %d, want 4", s.m.Hops)
+		}
+		if s.m.Sender != 1 {
+			t.Errorf("relay sender = %v, want self", s.m.Sender)
+		}
+	}
+	env.sent = nil
+	// Second copy: duplicate, must not forward.
+	n.Deliver(3, g)
+	if len(env.sent) != 0 {
+		t.Error("duplicate was forwarded")
+	}
+	d, dup, fwd, _ := n.Counters()
+	if d != 1 || dup != 1 || fwd != 2 {
+		t.Errorf("counters = %d %d %d", d, dup, fwd)
+	}
+}
+
+func TestFanoutModeBoundsTargets(t *testing.T) {
+	env := newFakeEnv(1)
+	mem := &fakeMembership{neighbors: []id.ID{2, 3, 4, 5, 6, 7}}
+	n := New(env, mem, Config{Mode: Fanout, Fanout: 4}, nil)
+	n.Broadcast(1, nil)
+	if len(env.sent) != 4 {
+		t.Errorf("fanout sent %d, want 4", len(env.sent))
+	}
+}
+
+func TestPeerDownReporting(t *testing.T) {
+	env := newFakeEnv(1)
+	env.down[3] = true
+	mem := &fakeMembership{neighbors: []id.ID{2, 3}}
+	n := New(env, mem, Config{Mode: Flood, ReportPeerDown: true}, nil)
+	n.Broadcast(1, nil)
+	if len(mem.downs) != 1 || mem.downs[0] != 3 {
+		t.Errorf("downs = %v, want [n3]", mem.downs)
+	}
+	_, _, _, fails := n.Counters()
+	if fails != 1 {
+		t.Errorf("sendFails = %d, want 1", fails)
+	}
+}
+
+func TestPeerDownNotReportedWhenDisabled(t *testing.T) {
+	env := newFakeEnv(1)
+	env.down[3] = true
+	mem := &fakeMembership{neighbors: []id.ID{2, 3}}
+	n := New(env, mem, Config{Mode: Flood, ReportPeerDown: false}, nil)
+	n.Broadcast(1, nil)
+	if len(mem.downs) != 0 {
+		t.Errorf("downs = %v, want none (fire-and-forget)", mem.downs)
+	}
+}
+
+func TestNonGossipDelegatedToMembership(t *testing.T) {
+	env := newFakeEnv(1)
+	mem := &fakeMembership{}
+	n := New(env, mem, Config{}, nil)
+	n.Deliver(2, msg.Message{Type: msg.Shuffle, Sender: 2})
+	if len(mem.delivered) != 1 || mem.delivered[0].Type != msg.Shuffle {
+		t.Error("membership message not delegated")
+	}
+	n.OnCycle()
+	if mem.cycles != 1 {
+		t.Error("OnCycle not delegated")
+	}
+	n.OnPeerDown(9)
+	if len(mem.downs) != 1 || mem.downs[0] != 9 {
+		t.Error("OnPeerDown not forwarded")
+	}
+}
+
+func TestBroadcastDuplicateRoundIgnored(t *testing.T) {
+	env := newFakeEnv(1)
+	mem := &fakeMembership{neighbors: []id.ID{2}}
+	n := New(env, mem, Config{Mode: Flood}, nil)
+	n.Broadcast(5, nil)
+	env.sent = nil
+	n.Broadcast(5, nil)
+	if len(env.sent) != 0 {
+		t.Error("re-broadcast of a seen round forwarded")
+	}
+}
+
+func TestResetSeenAllowsRedelivery(t *testing.T) {
+	env := newFakeEnv(1)
+	mem := &fakeMembership{neighbors: []id.ID{2}}
+	n := New(env, mem, Config{Mode: Flood}, nil)
+	n.Deliver(2, msg.Message{Type: msg.Gossip, Sender: 2, Round: 3})
+	if !n.Seen(3) {
+		t.Fatal("round not marked seen")
+	}
+	n.ResetSeen()
+	if n.Seen(3) {
+		t.Error("ResetSeen did not clear")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker()
+	r1 := tr.NextRound()
+	r2 := tr.NextRound()
+	if r1 == r2 {
+		t.Fatal("NextRound not unique")
+	}
+	tr.Deliver(r1, nil, 0)
+	tr.Deliver(r1, nil, 3)
+	tr.Deliver(r1, nil, 5)
+	if got := tr.Delivered(r1); got != 3 {
+		t.Errorf("Delivered = %d, want 3", got)
+	}
+	if got := tr.Reliability(r1, 6); got != 0.5 {
+		t.Errorf("Reliability = %v, want 0.5", got)
+	}
+	if got := tr.MaxHops(r1); got != 5 {
+		t.Errorf("MaxHops = %d, want 5", got)
+	}
+	if got := tr.AvgHops(r1); got != (0+3+5)/3.0 {
+		t.Errorf("AvgHops = %v", got)
+	}
+	if got := tr.Reliability(r2, 6); got != 0 {
+		t.Errorf("unknown round reliability = %v, want 0", got)
+	}
+	tr.Forget(r1)
+	if tr.Delivered(r1) != 0 {
+		t.Error("Forget did not clear round")
+	}
+	if tr.Reliability(r1, 0) != 0 {
+		t.Error("zero population reliability must be 0")
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker()
+	r := tr.NextRound()
+	tr.Deliver(r, nil, 0)
+	tr.Reset()
+	if tr.Delivered(r) != 0 {
+		t.Error("Reset kept stats")
+	}
+	if next := tr.NextRound(); next <= r {
+		t.Error("Reset rewound the round counter")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Flood.String() != "flood" || Fanout.String() != "fanout" || Mode(9).String() != "unknown" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestMembershipAccessor(t *testing.T) {
+	env := newFakeEnv(1)
+	mem := &fakeMembership{}
+	n := New(env, mem, Config{}, nil)
+	if n.Membership() != peer.Membership(mem) {
+		t.Error("Membership() does not return the wrapped protocol")
+	}
+}

@@ -1,0 +1,86 @@
+package gossip
+
+// Tracker aggregates per-round delivery statistics across a simulated
+// cluster. The experiment harness installs one Tracker-backed Delivery
+// callback per node and reads reliability figures from it.
+//
+// Gossip reliability is defined in the paper (§2.5) as the percentage of
+// live nodes that deliver a broadcast; 100% means atomic broadcast.
+type Tracker struct {
+	next   uint64
+	rounds map[uint64]*roundStats
+}
+
+type roundStats struct {
+	delivered int
+	maxHops   int
+	sumHops   int
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{rounds: make(map[uint64]*roundStats)}
+}
+
+// NextRound allocates a fresh round identifier.
+func (t *Tracker) NextRound() uint64 {
+	t.next++
+	return t.next
+}
+
+// Deliver records one delivery of round after hops overlay hops. It is the
+// Delivery callback to install on gossip nodes.
+func (t *Tracker) Deliver(round uint64, _ []byte, hops int) {
+	rs := t.rounds[round]
+	if rs == nil {
+		rs = &roundStats{}
+		t.rounds[round] = rs
+	}
+	rs.delivered++
+	rs.sumHops += hops
+	if hops > rs.maxHops {
+		rs.maxHops = hops
+	}
+}
+
+// Delivered returns the number of nodes that delivered round.
+func (t *Tracker) Delivered(round uint64) int {
+	if rs := t.rounds[round]; rs != nil {
+		return rs.delivered
+	}
+	return 0
+}
+
+// Reliability returns the fraction (0..1) of the alive population that
+// delivered round.
+func (t *Tracker) Reliability(round uint64, alive int) float64 {
+	if alive <= 0 {
+		return 0
+	}
+	return float64(t.Delivered(round)) / float64(alive)
+}
+
+// MaxHops returns the maximum hop count observed for round's deliveries.
+func (t *Tracker) MaxHops(round uint64) int {
+	if rs := t.rounds[round]; rs != nil {
+		return rs.maxHops
+	}
+	return 0
+}
+
+// AvgHops returns the mean delivery hop count for round.
+func (t *Tracker) AvgHops(round uint64) float64 {
+	rs := t.rounds[round]
+	if rs == nil || rs.delivered == 0 {
+		return 0
+	}
+	return float64(rs.sumHops) / float64(rs.delivered)
+}
+
+// Forget drops the statistics of round, bounding tracker memory in long
+// experiments.
+func (t *Tracker) Forget(round uint64) { delete(t.rounds, round) }
+
+// Reset drops all per-round statistics but keeps the round counter
+// monotonic.
+func (t *Tracker) Reset() { t.rounds = make(map[uint64]*roundStats) }

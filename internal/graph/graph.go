@@ -1,0 +1,305 @@
+// Package graph computes the overlay-graph properties the paper's
+// evaluation reports (§2.3, §5.4): degree distributions, clustering
+// coefficient, average shortest path, connectivity and accuracy.
+//
+// An overlay is captured as a directed adjacency snapshot: for every node,
+// the identifiers in its partial/active view. Metrics that the literature
+// defines on undirected graphs (clustering, shortest paths) operate on the
+// underlying undirected graph, i.e. the union of the two edge directions.
+package graph
+
+import (
+	"sort"
+
+	"hyparview/internal/id"
+	"hyparview/internal/rng"
+)
+
+// Snapshot is a directed adjacency capture of an overlay restricted to a
+// node population (usually the live nodes).
+type Snapshot struct {
+	ids   []id.ID
+	index map[id.ID]int
+	out   [][]int32 // out[i] = indices of i's out-neighbors within ids
+}
+
+// Build creates a snapshot from the node set nodes and the adjacency
+// function neighbors (typically Membership.Neighbors). Out-edges pointing
+// outside the population (e.g. at failed nodes) are dropped; use Accuracy to
+// measure them instead.
+func Build(nodes []id.ID, neighbors func(id.ID) []id.ID) *Snapshot {
+	s := &Snapshot{
+		ids:   make([]id.ID, len(nodes)),
+		index: make(map[id.ID]int, len(nodes)),
+		out:   make([][]int32, len(nodes)),
+	}
+	copy(s.ids, nodes)
+	for i, n := range s.ids {
+		s.index[n] = i
+	}
+	for i, n := range s.ids {
+		for _, nb := range neighbors(n) {
+			if j, ok := s.index[nb]; ok && j != i {
+				s.out[i] = append(s.out[i], int32(j))
+			}
+		}
+	}
+	return s
+}
+
+// Order returns the number of nodes in the snapshot.
+func (s *Snapshot) Order() int { return len(s.ids) }
+
+// OutDegrees returns each node's out-degree, indexed like IDs().
+func (s *Snapshot) OutDegrees() []int {
+	out := make([]int, len(s.out))
+	for i := range s.out {
+		out[i] = len(s.out[i])
+	}
+	return out
+}
+
+// InDegrees returns each node's in-degree: the number of population members
+// holding it in their view (paper §2.3, the reachability measure of Fig. 5).
+func (s *Snapshot) InDegrees() []int {
+	in := make([]int, len(s.ids))
+	for i := range s.out {
+		for _, j := range s.out[i] {
+			in[j]++
+		}
+	}
+	return in
+}
+
+// InDegreeDistribution returns a map from in-degree value to the number of
+// nodes with that in-degree (the paper's Fig. 5 histogram).
+func (s *Snapshot) InDegreeDistribution() map[int]int {
+	dist := make(map[int]int)
+	for _, d := range s.InDegrees() {
+		dist[d]++
+	}
+	return dist
+}
+
+// IDs returns the snapshot's node population.
+func (s *Snapshot) IDs() []id.ID {
+	out := make([]id.ID, len(s.ids))
+	copy(out, s.ids)
+	return out
+}
+
+// undirected returns the undirected adjacency (union of edge directions,
+// deduplicated).
+func (s *Snapshot) undirected() [][]int32 {
+	adj := make([][]int32, len(s.ids))
+	for i := range s.out {
+		adj[i] = append(adj[i], s.out[i]...)
+	}
+	for i := range s.out {
+		for _, j := range s.out[i] {
+			adj[j] = append(adj[j], int32(i))
+		}
+	}
+	for i := range adj {
+		adj[i] = dedupe(adj[i])
+	}
+	return adj
+}
+
+func dedupe(xs []int32) []int32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ClusteringCoefficient returns the graph's average clustering coefficient
+// on the undirected overlay: for each node, the number of edges among its
+// neighbors divided by the maximum possible, averaged over all nodes
+// (paper §2.3; nodes of degree < 2 contribute 0).
+func (s *Snapshot) ClusteringCoefficient() float64 {
+	adj := s.undirected()
+	sets := make([]map[int32]struct{}, len(adj))
+	for i, nb := range adj {
+		sets[i] = make(map[int32]struct{}, len(nb))
+		for _, j := range nb {
+			sets[i][j] = struct{}{}
+		}
+	}
+	var total float64
+	for _, nb := range adj {
+		k := len(nb)
+		if k < 2 {
+			continue
+		}
+		links := 0
+		for a := 0; a < len(nb); a++ {
+			for b := a + 1; b < len(nb); b++ {
+				if _, ok := sets[nb[a]][nb[b]]; ok {
+					links++
+				}
+			}
+		}
+		total += float64(2*links) / float64(k*(k-1))
+	}
+	if len(adj) == 0 {
+		return 0
+	}
+	return total / float64(len(adj))
+}
+
+// AvgShortestPath estimates the average shortest path length on the
+// undirected overlay by running BFS from up to samples random sources
+// (samples <= 0 means every node, i.e. the exact value). Unreachable pairs
+// are excluded; use ConnectedComponents to detect them.
+func (s *Snapshot) AvgShortestPath(r *rng.Rand, samples int) float64 {
+	n := len(s.ids)
+	if n < 2 {
+		return 0
+	}
+	adj := s.undirected()
+	sources := make([]int, n)
+	for i := range sources {
+		sources[i] = i
+	}
+	if samples > 0 && samples < n {
+		r.Shuffle(n, func(i, j int) { sources[i], sources[j] = sources[j], sources[i] })
+		sources = sources[:samples]
+	}
+	var sum, count float64
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for _, src := range sources {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], int32(src))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i, d := range dist {
+			if i != src && d > 0 {
+				sum += float64(d)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
+
+// ConnectedComponents returns the sizes of the undirected overlay's
+// connected components in descending order.
+func (s *Snapshot) ConnectedComponents() []int {
+	n := len(s.ids)
+	adj := s.undirected()
+	seen := make([]bool, n)
+	var sizes []int
+	queue := make([]int32, 0, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		queue = append(queue[:0], int32(start))
+		size := 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			size++
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// LargestComponentFraction returns the fraction of nodes in the largest
+// undirected connected component (1.0 means the overlay is connected).
+func (s *Snapshot) LargestComponentFraction() float64 {
+	if len(s.ids) == 0 {
+		return 0
+	}
+	cc := s.ConnectedComponents()
+	return float64(cc[0]) / float64(len(s.ids))
+}
+
+// IsConnected reports whether the undirected overlay is a single component.
+func (s *Snapshot) IsConnected() bool {
+	return len(s.ids) == 0 || len(s.ConnectedComponents()) == 1
+}
+
+// SymmetryFraction returns the fraction of directed edges whose reverse edge
+// also exists. HyParView's active-view overlay should be fully symmetric
+// (1.0) in quiescent states (§4.1).
+func (s *Snapshot) SymmetryFraction() float64 {
+	edges := make(map[[2]int32]struct{})
+	total := 0
+	for i := range s.out {
+		for _, j := range s.out[i] {
+			edges[[2]int32{int32(i), j}] = struct{}{}
+			total++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	sym := 0
+	for e := range edges {
+		if _, ok := edges[[2]int32{e[1], e[0]}]; ok {
+			sym++
+		}
+	}
+	return float64(sym) / float64(total)
+}
+
+// Accuracy computes the paper's accuracy metric (§2.3) for a population:
+// for each live node, the fraction of its view entries that point at live
+// nodes, averaged over live nodes. It needs the raw (unfiltered) view
+// function and the liveness predicate, so it is a free function rather than
+// a Snapshot method.
+func Accuracy(live []id.ID, neighbors func(id.ID) []id.ID, alive func(id.ID) bool) float64 {
+	var sum float64
+	counted := 0
+	for _, n := range live {
+		nb := neighbors(n)
+		if len(nb) == 0 {
+			continue
+		}
+		ok := 0
+		for _, m := range nb {
+			if alive(m) {
+				ok++
+			}
+		}
+		sum += float64(ok) / float64(len(nb))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"hyparview/internal/id"
+	"hyparview/internal/rng"
+)
+
+// adjacency builds a neighbor function from a literal map.
+func adjacency(m map[id.ID][]id.ID) func(id.ID) []id.ID {
+	return func(n id.ID) []id.ID { return m[n] }
+}
+
+func idsUpTo(n int) []id.ID {
+	out := make([]id.ID, n)
+	for i := range out {
+		out[i] = id.ID(i + 1)
+	}
+	return out
+}
+
+func TestBuildDropsEdgesOutsidePopulation(t *testing.T) {
+	adj := map[id.ID][]id.ID{
+		1: {2, 99}, // 99 not in population (e.g. failed)
+		2: {1, 1},  // duplicate edges are kept as sent (views can't dup, but be safe)
+	}
+	s := Build([]id.ID{1, 2}, adjacency(adj))
+	if s.Order() != 2 {
+		t.Fatalf("Order = %d", s.Order())
+	}
+	deg := s.OutDegrees()
+	if deg[0] != 1 {
+		t.Errorf("node 1 out-degree = %d, want 1 (edge to 99 dropped)", deg[0])
+	}
+}
+
+func TestBuildDropsSelfLoops(t *testing.T) {
+	s := Build([]id.ID{1}, adjacency(map[id.ID][]id.ID{1: {1}}))
+	if s.OutDegrees()[0] != 0 {
+		t.Error("self loop kept")
+	}
+}
+
+func TestInDegrees(t *testing.T) {
+	// Star: 2,3,4 all point at 1.
+	adj := map[id.ID][]id.ID{2: {1}, 3: {1}, 4: {1}}
+	s := Build(idsUpTo(4), adjacency(adj))
+	in := s.InDegrees()
+	if in[0] != 3 || in[1] != 0 {
+		t.Errorf("InDegrees = %v", in)
+	}
+	dist := s.InDegreeDistribution()
+	if dist[3] != 1 || dist[0] != 3 {
+		t.Errorf("distribution = %v", dist)
+	}
+}
+
+func TestClusteringCoefficientTriangle(t *testing.T) {
+	adj := map[id.ID][]id.ID{1: {2, 3}, 2: {3}} // undirected triangle
+	s := Build(idsUpTo(3), adjacency(adj))
+	if cc := s.ClusteringCoefficient(); math.Abs(cc-1.0) > 1e-9 {
+		t.Errorf("triangle clustering = %v, want 1", cc)
+	}
+}
+
+func TestClusteringCoefficientStar(t *testing.T) {
+	adj := map[id.ID][]id.ID{1: {2, 3, 4}}
+	s := Build(idsUpTo(4), adjacency(adj))
+	if cc := s.ClusteringCoefficient(); cc != 0 {
+		t.Errorf("star clustering = %v, want 0", cc)
+	}
+}
+
+func TestClusteringCoefficientPartial(t *testing.T) {
+	// Node 1 has neighbors 2,3,4 with exactly one edge among them (2-3):
+	// c(1) = 1/3. Nodes 2,3 each see neighbors {1, each other} with the
+	// 1-2/1-3 edges closing their triangles: c=1. Node 4 has degree 1: 0.
+	adj := map[id.ID][]id.ID{1: {2, 3, 4}, 2: {3}}
+	s := Build(idsUpTo(4), adjacency(adj))
+	want := (1.0/3 + 1 + 1 + 0) / 4
+	if cc := s.ClusteringCoefficient(); math.Abs(cc-want) > 1e-9 {
+		t.Errorf("clustering = %v, want %v", cc, want)
+	}
+}
+
+func TestAvgShortestPathLine(t *testing.T) {
+	// 1-2-3-4: pairs (1,2)=1 (1,3)=2 (1,4)=3 (2,3)=1 (2,4)=2 (3,4)=1,
+	// mean = 10/6.
+	adj := map[id.ID][]id.ID{1: {2}, 2: {3}, 3: {4}}
+	s := Build(idsUpTo(4), adjacency(adj))
+	want := 10.0 / 6
+	if asp := s.AvgShortestPath(rng.New(1), 0); math.Abs(asp-want) > 1e-9 {
+		t.Errorf("ASP = %v, want %v", asp, want)
+	}
+}
+
+func TestAvgShortestPathSampledClose(t *testing.T) {
+	// Ring of 60 nodes: exact ASP is n/4 ≈ 15.25 for even n (per source:
+	// mean of 1..30 with 30 counted once).
+	n := 60
+	adj := make(map[id.ID][]id.ID, n)
+	for i := 1; i <= n; i++ {
+		next := id.ID(i%n + 1)
+		adj[id.ID(i)] = []id.ID{next}
+	}
+	s := Build(idsUpTo(n), adjacency(adj))
+	exact := s.AvgShortestPath(rng.New(1), 0)
+	sampled := s.AvgShortestPath(rng.New(2), 10)
+	if math.Abs(exact-sampled) > 1e-9 {
+		// On a vertex-transitive graph every source gives the same mean.
+		t.Errorf("sampled ASP %v deviates from exact %v", sampled, exact)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	adj := map[id.ID][]id.ID{1: {2}, 3: {4}, 4: {5}}
+	s := Build(idsUpTo(6), adjacency(adj))
+	cc := s.ConnectedComponents()
+	if len(cc) != 3 || cc[0] != 3 || cc[1] != 2 || cc[2] != 1 {
+		t.Errorf("components = %v, want [3 2 1]", cc)
+	}
+	if s.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if f := s.LargestComponentFraction(); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("largest fraction = %v, want 0.5", f)
+	}
+}
+
+func TestIsConnectedSingleComponent(t *testing.T) {
+	adj := map[id.ID][]id.ID{1: {2}, 2: {3}}
+	s := Build(idsUpTo(3), adjacency(adj))
+	if !s.IsConnected() {
+		t.Error("connected graph reported disconnected")
+	}
+}
+
+func TestSymmetryFraction(t *testing.T) {
+	sym := Build(idsUpTo(2), adjacency(map[id.ID][]id.ID{1: {2}, 2: {1}}))
+	if f := sym.SymmetryFraction(); f != 1 {
+		t.Errorf("symmetric graph fraction = %v, want 1", f)
+	}
+	asym := Build(idsUpTo(3), adjacency(map[id.ID][]id.ID{1: {2}, 2: {1, 3}}))
+	if f := asym.SymmetryFraction(); math.Abs(f-2.0/3) > 1e-9 {
+		t.Errorf("fraction = %v, want 2/3", f)
+	}
+	empty := Build(idsUpTo(2), adjacency(map[id.ID][]id.ID{}))
+	if f := empty.SymmetryFraction(); f != 1 {
+		t.Errorf("empty graph fraction = %v, want 1 (vacuous)", f)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	views := map[id.ID][]id.ID{
+		1: {2, 3},    // both live -> 1.0
+		2: {3, 4, 5}, // 4,5 dead -> 1/3
+		3: {},        // empty views don't count
+	}
+	live := []id.ID{1, 2, 3}
+	alive := func(n id.ID) bool { return n <= 3 }
+	got := Accuracy(live, adjacency(views), alive)
+	want := (1.0 + 1.0/3) / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Accuracy = %v, want %v", got, want)
+	}
+}
+
+func TestAccuracyEmptyPopulation(t *testing.T) {
+	if got := Accuracy(nil, adjacency(nil), func(id.ID) bool { return true }); got != 0 {
+		t.Errorf("Accuracy(empty) = %v, want 0", got)
+	}
+}
+
+func TestIDsReturnsCopy(t *testing.T) {
+	s := Build(idsUpTo(2), adjacency(nil))
+	ids := s.IDs()
+	ids[0] = 99
+	if s.IDs()[0] == 99 {
+		t.Error("IDs() exposed internal storage")
+	}
+}

@@ -1,0 +1,142 @@
+package id
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIDString(t *testing.T) {
+	tests := []struct {
+		name string
+		give ID
+		want string
+	}{
+		{name: "nil", give: Nil, want: "nil"},
+		{name: "one", give: ID(1), want: "n1"},
+		{name: "big", give: ID(123456789), want: "n123456789"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIDIsNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil.IsNil() = false")
+	}
+	if ID(7).IsNil() {
+		t.Error("ID(7).IsNil() = true")
+	}
+}
+
+func TestFromAddrStable(t *testing.T) {
+	a := FromAddr("10.0.0.1:7946")
+	b := FromAddr("10.0.0.1:7946")
+	if a != b {
+		t.Errorf("FromAddr not stable: %v != %v", a, b)
+	}
+	if a.IsNil() {
+		t.Error("FromAddr returned Nil")
+	}
+	if c := FromAddr("10.0.0.2:7946"); c == a {
+		t.Error("distinct addresses collided")
+	}
+}
+
+func TestFromAddrNeverNil(t *testing.T) {
+	f := func(addr string) bool { return !FromAddr(addr).IsNil() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBookPutAddrLookup(t *testing.T) {
+	b := NewBook()
+	b.Put(ID(1), "a:1")
+	b.Put(ID(2), "a:2")
+
+	if addr, ok := b.Addr(ID(1)); !ok || addr != "a:1" {
+		t.Errorf("Addr(1) = %q, %v", addr, ok)
+	}
+	if node, ok := b.Lookup("a:2"); !ok || node != ID(2) {
+		t.Errorf("Lookup(a:2) = %v, %v", node, ok)
+	}
+	if _, ok := b.Addr(ID(3)); ok {
+		t.Error("Addr(3) unexpectedly found")
+	}
+	if _, ok := b.Lookup("nope"); ok {
+		t.Error("Lookup(nope) unexpectedly found")
+	}
+}
+
+func TestBookPutReplacesBothDirections(t *testing.T) {
+	b := NewBook()
+	b.Put(ID(1), "a:1")
+	// Re-map the id to a new address: the old address must be forgotten.
+	b.Put(ID(1), "a:9")
+	if _, ok := b.Lookup("a:1"); ok {
+		t.Error("stale address a:1 still resolves")
+	}
+	if addr, _ := b.Addr(ID(1)); addr != "a:9" {
+		t.Errorf("Addr(1) = %q, want a:9", addr)
+	}
+	// Re-map the address to a new id: the old id must be forgotten.
+	b.Put(ID(2), "a:9")
+	if _, ok := b.Addr(ID(1)); ok {
+		t.Error("stale id 1 still resolves")
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", b.Len())
+	}
+}
+
+func TestBookDelete(t *testing.T) {
+	b := NewBook()
+	b.Put(ID(1), "a:1")
+	b.Delete(ID(1))
+	if _, ok := b.Addr(ID(1)); ok {
+		t.Error("deleted id still resolves")
+	}
+	if _, ok := b.Lookup("a:1"); ok {
+		t.Error("deleted addr still resolves")
+	}
+	b.Delete(ID(42)) // absent: must not panic
+}
+
+func TestBookIDsSorted(t *testing.T) {
+	b := NewBook()
+	for _, n := range []ID{5, 1, 9, 3} {
+		b.Put(n, n.String())
+	}
+	ids := b.IDs()
+	if len(ids) != 4 {
+		t.Fatalf("IDs() len = %d, want 4", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("IDs() not sorted: %v", ids)
+		}
+	}
+}
+
+func TestBookZeroValueUsable(t *testing.T) {
+	var b Book
+	b.Put(ID(1), "x")
+	if addr, ok := b.Addr(ID(1)); !ok || addr != "x" {
+		t.Errorf("zero-value Book broken: %q %v", addr, ok)
+	}
+}
+
+func TestBookMustAddrPanics(t *testing.T) {
+	b := NewBook()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddr on missing id did not panic")
+		}
+	}()
+	b.MustAddr(ID(404))
+}

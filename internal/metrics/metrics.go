@@ -1,0 +1,218 @@
+// Package metrics provides the small statistics toolkit used by the
+// experiment harness: summary statistics, percentiles, histograms and CSV
+// rendering of result series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual aggregate statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.Count = len(xs)
+	if s.Count == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.Count)
+	if s.Count > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.Count-1))
+	}
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f",
+		s.Count, s.Mean, s.Stddev, s.Min, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// IntHistogram is a frequency table over integer values.
+type IntHistogram map[int]int
+
+// Add increments the count of value v.
+func (h IntHistogram) Add(v int) { h[v]++ }
+
+// Keys returns the observed values in ascending order.
+func (h IntHistogram) Keys() []int {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Total returns the number of recorded observations.
+func (h IntHistogram) Total() int {
+	t := 0
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// Mean returns the mean of the recorded observations.
+func (h IntHistogram) Mean() float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(total)
+}
+
+// String renders "value:count" pairs in ascending value order.
+func (h IntHistogram) String() string {
+	var b strings.Builder
+	for i, k := range h.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", k, h[k])
+	}
+	return b.String()
+}
+
+// Table is a simple column-oriented result table rendered as aligned text or
+// CSV; every experiment driver returns one.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 4 decimal
+// places.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// CSV renders the table as CSV with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the table as aligned plain text with its title.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+	wantSD := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Stddev-wantSD) > 1e-9 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev, wantSD)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty Summary = %+v", s)
+	}
+	if s := Summarize([]float64{7}); s.Mean != 7 || s.Stddev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("single Summary = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2})
+	if str := s.String(); !strings.Contains(str, "n=2") || !strings.Contains(str, "mean=1.5") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 6}); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {110, 5}, {12.5, 1.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	// Input must not be mutated (sorted copy).
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := IntHistogram{}
+	for _, v := range []int{3, 1, 3, 2, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	keys := h.Keys()
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Errorf("Keys = %v", keys)
+	}
+	if got := h.Mean(); math.Abs(got-2.4) > 1e-9 {
+		t.Errorf("Mean = %v, want 2.4", got)
+	}
+	if s := h.String(); s != "1:1 2:1 3:3" {
+		t.Errorf("String = %q", s)
+	}
+	var empty IntHistogram
+	if empty.Mean() != 0 || empty.Total() != 0 {
+		t.Error("empty histogram stats wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow(1, 0.5)
+	tb.AddRow("x", float32(0.25))
+	text := tb.String()
+	if !strings.Contains(text, "== demo ==") {
+		t.Errorf("missing title: %q", text)
+	}
+	if !strings.Contains(text, "0.5000") || !strings.Contains(text, "0.2500") {
+		t.Errorf("float formatting wrong: %q", text)
+	}
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 || lines[0] != "a,b" || lines[1] != "1,0.5000" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "col", "x")
+	tb.AddRow("longvalue", 1)
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// The header cell must be padded to the row width.
+	if !strings.HasPrefix(lines[1], "longvalue") || len(lines[0]) < len("longvalue") {
+		t.Errorf("alignment broken:\n%s", tb.String())
+	}
+}

@@ -1,0 +1,46 @@
+package msg
+
+import (
+	"testing"
+
+	"hyparview/internal/id"
+)
+
+func benchMessage() Message {
+	return Message{
+		Type:    Shuffle,
+		Sender:  12345,
+		Subject: 12345,
+		TTL:     6,
+		Nodes:   []id.ID{1, 2, 3, 4, 5, 6, 7, 8}, // paper's shuffle list size
+	}
+}
+
+func BenchmarkEncodeShuffle(b *testing.B) {
+	m := benchMessage()
+	buf := make([]byte, 0, EncodedSize(m))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecodeShuffle(b *testing.B) {
+	buf := Encode(benchMessage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeGossip1K(b *testing.B) {
+	m := Message{Type: Gossip, Sender: 1, Round: 42, Payload: make([]byte, 1024)}
+	buf := make([]byte, 0, EncodedSize(m))
+	b.SetBytes(int64(EncodedSize(m)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+}

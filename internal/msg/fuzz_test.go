@@ -1,0 +1,61 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+
+	"hyparview/internal/id"
+)
+
+// FuzzDecode drives the codec with arbitrary byte strings: decoding must
+// never panic, and anything that decodes successfully must re-encode to a
+// form that decodes to the same message (canonicalization round-trip).
+func FuzzDecode(f *testing.F) {
+	for _, m := range sampleMessages() {
+		f.Add(Encode(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := Encode(m)
+		m2, _, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(normalize(m), normalize(m2)) {
+			t.Fatalf("round-trip mismatch:\n %+v\n %+v", m, m2)
+		}
+	})
+}
+
+// FuzzEncodeDecode drives the codec with structured inputs.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint8(1), uint64(1), uint64(2), uint8(6), uint64(99), []byte("payload"))
+	f.Fuzz(func(t *testing.T, ty uint8, sender, subject uint64, ttl uint8, round uint64, payload []byte) {
+		m := Message{
+			Type:    Type(ty%uint8(maxType-1) + 1),
+			Sender:  id.ID(sender),
+			Subject: id.ID(subject),
+			TTL:     ttl,
+			Round:   round,
+			Payload: payload,
+		}
+		got, n, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("decode of valid encoding failed: %v", err)
+		}
+		if n != EncodedSize(m) {
+			t.Fatalf("size mismatch: %d vs %d", n, EncodedSize(m))
+		}
+		if got.Type != m.Type || got.Sender != m.Sender || got.Round != m.Round {
+			t.Fatalf("fields corrupted: %+v vs %+v", got, m)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+// Package msg defines the wire messages exchanged by the membership and
+// broadcast protocols, together with a compact binary codec.
+//
+// The message set is the union of what HyParView (paper §4, Algorithm 1),
+// Cyclon, Scamp and the gossip broadcast layer need. A single shared message
+// type keeps the simulator and the real TCP transport protocol-agnostic.
+package msg
+
+import (
+	"fmt"
+
+	"hyparview/internal/id"
+)
+
+// Type discriminates the protocol messages.
+type Type uint8
+
+// Message types. The numbering is part of the wire format; append only.
+const (
+	// HyParView membership (paper §4.2–§4.4).
+	Join Type = iota + 1
+	ForwardJoin
+	Disconnect
+	Neighbor
+	NeighborReply
+	Shuffle
+	ShuffleReply
+
+	// Gossip broadcast layer (paper §2.5, §5).
+	Gossip
+	GossipAck
+
+	// Cyclon membership.
+	CyclonShuffle
+	CyclonShuffleReply
+	CyclonJoinWalk
+
+	// Scamp membership.
+	ScampSubscribe
+	ScampForwardSub
+	ScampKept
+	ScampUnsubscribe
+	ScampHeartbeat
+
+	maxType
+)
+
+var typeNames = [...]string{
+	Join:               "JOIN",
+	ForwardJoin:        "FORWARDJOIN",
+	Disconnect:         "DISCONNECT",
+	Neighbor:           "NEIGHBOR",
+	NeighborReply:      "NEIGHBORREPLY",
+	Shuffle:            "SHUFFLE",
+	ShuffleReply:       "SHUFFLEREPLY",
+	Gossip:             "GOSSIP",
+	GossipAck:          "GOSSIPACK",
+	CyclonShuffle:      "CYCLONSHUFFLE",
+	CyclonShuffleReply: "CYCLONSHUFFLEREPLY",
+	CyclonJoinWalk:     "CYCLONJOINWALK",
+	ScampSubscribe:     "SCAMPSUBSCRIBE",
+	ScampForwardSub:    "SCAMPFORWARDSUB",
+	ScampKept:          "SCAMPKEPT",
+	ScampUnsubscribe:   "SCAMPUNSUBSCRIBE",
+	ScampHeartbeat:     "SCAMPHEARTBEAT",
+}
+
+// String returns the conventional upper-case name of the message type.
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a known message type.
+func (t Type) Valid() bool { return t >= Join && t < maxType }
+
+// Priority is carried by NEIGHBOR requests (paper §4.3).
+type Priority uint8
+
+// Neighbor request priorities.
+const (
+	// LowPriority requests are accepted only when the receiver has a free
+	// active-view slot.
+	LowPriority Priority = iota + 1
+	// HighPriority requests are always accepted, evicting a random active
+	// member if necessary. Sent when the requester's active view is empty.
+	HighPriority
+)
+
+// String returns "low" or "high".
+func (p Priority) String() string {
+	if p == HighPriority {
+		return "high"
+	}
+	return "low"
+}
+
+// Entry is a view entry exchanged by Cyclon shuffles: a node identifier
+// tagged with its age in shuffle cycles.
+type Entry struct {
+	Node id.ID
+	Age  uint16
+}
+
+// Message is the single wire-level message structure. Fields are used
+// depending on Type; unused fields stay at their zero values and encode
+// compactly.
+type Message struct {
+	Type Type
+
+	// Sender is the node that emitted this hop of the message. For relayed
+	// messages (FORWARDJOIN, SHUFFLE) it is the previous hop, not the origin.
+	Sender id.ID
+
+	// Subject is the node the message is about: the joiner in JOIN and
+	// FORWARDJOIN, the origin in SHUFFLE, the subscriber in Scamp messages.
+	Subject id.ID
+
+	// TTL is the remaining time-to-live of random-walked messages.
+	TTL uint8
+
+	// Priority of a NEIGHBOR request.
+	Priority Priority
+
+	// Accept is the verdict carried by NEIGHBORREPLY.
+	Accept bool
+
+	// Nodes carries identifier lists (shuffle exchange contents, Scamp
+	// forwarded views).
+	Nodes []id.ID
+
+	// Entries carries aged view entries for Cyclon shuffles.
+	Entries []Entry
+
+	// Round is the broadcast round / message identifier for GOSSIP.
+	Round uint64
+
+	// Hops counts overlay hops travelled by a GOSSIP message, used by the
+	// evaluation to reproduce Table 1's "maximum hops to delivery".
+	Hops uint16
+
+	// Payload is the opaque application payload of a GOSSIP message.
+	Payload []byte
+
+	// Directory carries (identifier, dialable address) pairs for node
+	// identifiers referenced by this message. The paper's identifiers are
+	// (ip, port) tuples; our compact IDs need this side table so that a
+	// receiver can open connections to nodes it just learned about. The
+	// TCP transport fills and consumes it transparently; the simulator
+	// ignores it.
+	Directory []DirEntry
+}
+
+// DirEntry maps a node identifier to its dialable address.
+type DirEntry struct {
+	Node id.ID
+	Addr string
+}
+
+// Clone returns a deep copy of m; the simulator hands the same Message to a
+// single receiver only, but protocols that re-forward mutate TTL/Hops and
+// must not alias slices owned by another node.
+func (m Message) Clone() Message {
+	c := m
+	if m.Nodes != nil {
+		c.Nodes = make([]id.ID, len(m.Nodes))
+		copy(c.Nodes, m.Nodes)
+	}
+	if m.Entries != nil {
+		c.Entries = make([]Entry, len(m.Entries))
+		copy(c.Entries, m.Entries)
+	}
+	if m.Payload != nil {
+		c.Payload = make([]byte, len(m.Payload))
+		copy(c.Payload, m.Payload)
+	}
+	if m.Directory != nil {
+		c.Directory = make([]DirEntry, len(m.Directory))
+		copy(c.Directory, m.Directory)
+	}
+	return c
+}
+
+// ReferencedIDs returns every node identifier the message mentions (sender,
+// subject, node lists, entries); the transport uses it to build Directory.
+func (m Message) ReferencedIDs() []id.ID {
+	out := make([]id.ID, 0, 2+len(m.Nodes)+len(m.Entries))
+	if !m.Sender.IsNil() {
+		out = append(out, m.Sender)
+	}
+	if !m.Subject.IsNil() {
+		out = append(out, m.Subject)
+	}
+	out = append(out, m.Nodes...)
+	for _, e := range m.Entries {
+		out = append(out, e.Node)
+	}
+	return out
+}
+
+// String renders a compact debugging representation.
+func (m Message) String() string {
+	return fmt.Sprintf("%s{from=%v subj=%v ttl=%d n=%d e=%d round=%d}",
+		m.Type, m.Sender, m.Subject, m.TTL, len(m.Nodes), len(m.Entries), m.Round)
+}

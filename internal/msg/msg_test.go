@@ -1,0 +1,107 @@
+package msg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hyparview/internal/id"
+)
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		give Type
+		want string
+	}{
+		{Join, "JOIN"},
+		{ForwardJoin, "FORWARDJOIN"},
+		{Disconnect, "DISCONNECT"},
+		{Neighbor, "NEIGHBOR"},
+		{NeighborReply, "NEIGHBORREPLY"},
+		{Shuffle, "SHUFFLE"},
+		{ShuffleReply, "SHUFFLEREPLY"},
+		{Gossip, "GOSSIP"},
+		{ScampHeartbeat, "SCAMPHEARTBEAT"},
+		{Type(0), "Type(0)"},
+		{Type(200), "Type(200)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Type(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestTypeValid(t *testing.T) {
+	if Type(0).Valid() {
+		t.Error("Type(0) reported valid")
+	}
+	if !Join.Valid() || !ScampHeartbeat.Valid() {
+		t.Error("known types reported invalid")
+	}
+	if maxType.Valid() {
+		t.Error("maxType reported valid")
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	if HighPriority.String() != "high" || LowPriority.String() != "low" {
+		t.Error("priority names wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Message{
+		Type:      Shuffle,
+		Sender:    1,
+		Nodes:     []id.ID{1, 2, 3},
+		Entries:   []Entry{{Node: 4, Age: 5}},
+		Payload:   []byte{9, 9},
+		Directory: []DirEntry{{Node: 1, Addr: "a"}},
+	}
+	c := m.Clone()
+	c.Nodes[0] = 99
+	c.Entries[0].Node = 99
+	c.Payload[0] = 0
+	c.Directory[0].Addr = "b"
+	if m.Nodes[0] != 1 || m.Entries[0].Node != 4 || m.Payload[0] != 9 || m.Directory[0].Addr != "a" {
+		t.Error("Clone shares memory with original")
+	}
+}
+
+func TestCloneNilSlicesStayNil(t *testing.T) {
+	c := Message{Type: Join}.Clone()
+	if c.Nodes != nil || c.Entries != nil || c.Payload != nil || c.Directory != nil {
+		t.Error("Clone materialized nil slices")
+	}
+}
+
+func TestReferencedIDs(t *testing.T) {
+	m := Message{
+		Type:    Shuffle,
+		Sender:  1,
+		Subject: 2,
+		Nodes:   []id.ID{3, 4},
+		Entries: []Entry{{Node: 5}},
+	}
+	want := []id.ID{1, 2, 3, 4, 5}
+	if got := m.ReferencedIDs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ReferencedIDs() = %v, want %v", got, want)
+	}
+}
+
+func TestReferencedIDsSkipsNil(t *testing.T) {
+	m := Message{Type: Join}
+	if got := m.ReferencedIDs(); len(got) != 0 {
+		t.Errorf("ReferencedIDs() = %v, want empty", got)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	s := Message{Type: ForwardJoin, Sender: 1, Subject: 2, TTL: 6}.String()
+	for _, frag := range []string{"FORWARDJOIN", "n1", "n2", "ttl=6"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

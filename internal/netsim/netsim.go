@@ -1,0 +1,520 @@
+// Package netsim is a deterministic discrete-event simulator for
+// peer-to-peer protocols: this repository's stand-in for PeerSim, the
+// simulator used by the paper's evaluation (§5).
+//
+// Model:
+//
+//   - Nodes are identified by id.ID and host a peer.Process.
+//   - Send enqueues a message onto a global FIFO queue; Drain pops and
+//     delivers messages one at a time, synchronously, until the queue is
+//     empty. Within one Drain the simulation is single-threaded and
+//     completely deterministic given the seed.
+//   - Send and Probe to a failed node return peer.ErrPeerDown to the caller
+//     immediately. This models TCP's connect/reset failure signal, the
+//     failure detector HyParView relies on. Lossy protocols simply ignore
+//     the error, modelling fire-and-forget datagrams.
+//   - RunCycle invokes OnCycle on every live node in a seeded random order,
+//     draining the queue after each node, mirroring PeerSim's cycle-driven
+//     mode with immediate message processing.
+//
+// The simulator is not safe for concurrent use; experiments own one Sim each.
+package netsim
+
+import (
+	"fmt"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+	"hyparview/internal/rng"
+)
+
+// event is one queued message delivery. at/seq order deliveries when a
+// latency model is installed; in FIFO mode both stay zero/monotonic.
+type event struct {
+	from, to id.ID
+	m        msg.Message
+	at       uint64 // virtual delivery time
+	seq      uint64 // tiebreaker preserving send order
+}
+
+// node is the simulator's per-node bookkeeping.
+type node struct {
+	proc  peer.Process
+	rand  *rng.Rand
+	alive bool
+}
+
+// Stats aggregates counters over the lifetime of a Sim.
+type Stats struct {
+	// Sent counts successful Send calls (message enqueued).
+	Sent uint64
+	// Delivered counts messages handed to a live process.
+	Delivered uint64
+	// Dropped counts messages whose destination died after enqueue.
+	Dropped uint64
+	// SendFailures counts Send/Probe calls rejected with ErrPeerDown.
+	SendFailures uint64
+	// BytesSent sums the wire-encoded size of every enqueued message,
+	// supporting the packet-overhead measurements the paper planned for
+	// PlanetLab (§6).
+	BytesSent uint64
+}
+
+// Sim is a deterministic event-driven network simulator.
+type Sim struct {
+	rand  *rng.Rand
+	nodes map[id.ID]*node
+	order []id.ID // insertion order; basis for deterministic iteration
+	queue []event
+	head  int
+	stats Stats
+
+	// watchers maps a watched node to the set of nodes holding an open
+	// connection to it; when it fails, live watchers implementing
+	// peer.FailureObserver receive OnPeerDown (a TCP reset, delivered at
+	// the next Drain).
+	watchers     map[id.ID]map[id.ID]struct{}
+	pendingDowns []id.ID
+
+	// partition, when non-nil, assigns nodes to network partitions: traffic
+	// between different partition groups fails exactly like traffic to a
+	// crashed node (TCP connects time out across the cut). Nodes absent
+	// from the map are in group 0.
+	partition map[id.ID]int
+
+	// MaxQueue bounds the number of in-flight events as a safety net
+	// against protocol bugs that generate message storms. Zero means the
+	// default (64M events).
+	MaxQueue int
+
+	// Tap, when non-nil, observes every delivered message (after liveness
+	// filtering, before the process handles it). Used by tests and the
+	// trace recorder; it must not mutate the simulation.
+	Tap func(from, to id.ID, m msg.Message)
+
+	// Latency, when non-nil, switches the simulator from FIFO delivery to
+	// event-driven virtual time: every message is delayed by
+	// Latency(from, to) abstract ticks and deliveries happen in timestamp
+	// order (send order breaks ties). The function may draw from the rand
+	// it is handed to model jitter; determinism is preserved. The paper's
+	// experiments measure hops, not wall time, and run in FIFO mode.
+	Latency func(from, to id.ID, r *rng.Rand) uint64
+
+	now   uint64 // virtual clock (advances only in latency mode)
+	seq   uint64 // send sequence for deterministic tie-breaking
+	lheap []event
+}
+
+// New returns an empty simulator seeded with seed.
+func New(seed uint64) *Sim {
+	return &Sim{
+		rand:     rng.New(seed),
+		nodes:    make(map[id.ID]*node),
+		watchers: make(map[id.ID]map[id.ID]struct{}),
+	}
+}
+
+// Endpoint is the peer.Env handed to a process at construction time.
+type Endpoint struct {
+	sim  *Sim
+	self id.ID
+	rand *rng.Rand
+}
+
+var _ peer.Env = (*Endpoint)(nil)
+
+// Self returns the identifier of the endpoint's node.
+func (e *Endpoint) Self() id.ID { return e.self }
+
+// Rand returns the node's private random stream.
+func (e *Endpoint) Rand() *rng.Rand { return e.rand }
+
+// Send enqueues m for delivery to dst, or returns peer.ErrPeerDown if dst has
+// already failed (TCP-style synchronous failure detection).
+func (e *Endpoint) Send(dst id.ID, m msg.Message) error {
+	return e.sim.send(e.self, dst, m)
+}
+
+// Probe reports whether a connection to dst could be established.
+func (e *Endpoint) Probe(dst id.ID) error {
+	n, ok := e.sim.nodes[dst]
+	if !ok || !n.alive || !e.sim.reachable(e.self, dst) {
+		e.sim.stats.SendFailures++
+		return fmt.Errorf("probe %v: %w", dst, peer.ErrPeerDown)
+	}
+	return nil
+}
+
+// Watch registers this node for failure notifications about dst, modelling
+// an open TCP connection.
+func (e *Endpoint) Watch(dst id.ID) {
+	ws := e.sim.watchers[dst]
+	if ws == nil {
+		ws = make(map[id.ID]struct{}, 4)
+		e.sim.watchers[dst] = ws
+	}
+	ws[e.self] = struct{}{}
+}
+
+// Unwatch cancels a Watch, modelling closing the connection.
+func (e *Endpoint) Unwatch(dst id.ID) {
+	if ws := e.sim.watchers[dst]; ws != nil {
+		delete(ws, e.self)
+		if len(ws) == 0 {
+			delete(e.sim.watchers, dst)
+		}
+	}
+}
+
+// Add registers a new live node and constructs its process via factory,
+// which receives the node's environment. Add panics on duplicate ids: that
+// is always a harness bug.
+func (s *Sim) Add(nodeID id.ID, factory func(peer.Env) peer.Process) {
+	if nodeID.IsNil() {
+		panic("netsim: cannot add nil node id")
+	}
+	if _, dup := s.nodes[nodeID]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %v", nodeID))
+	}
+	ep := &Endpoint{sim: s, self: nodeID, rand: s.rand.Split()}
+	s.nodes[nodeID] = &node{proc: factory(ep), rand: ep.rand, alive: true}
+	s.order = append(s.order, nodeID)
+}
+
+// send implements Endpoint.Send.
+func (s *Sim) send(from, to id.ID, m msg.Message) error {
+	dst, ok := s.nodes[to]
+	if !ok || !dst.alive || !s.reachable(from, to) {
+		s.stats.SendFailures++
+		return fmt.Errorf("send %v->%v: %w", from, to, peer.ErrPeerDown)
+	}
+	limit := s.MaxQueue
+	if limit <= 0 {
+		limit = 64 << 20
+	}
+	if len(s.queue)-s.head+len(s.lheap) >= limit {
+		panic("netsim: event queue limit exceeded (message storm?)")
+	}
+	s.seq++
+	ev := event{from: from, to: to, m: m, seq: s.seq}
+	if s.Latency != nil {
+		ev.at = s.now + s.Latency(from, to, s.rand)
+		s.pushEvent(ev)
+	} else {
+		s.queue = append(s.queue, ev)
+	}
+	s.stats.Sent++
+	s.stats.BytesSent += uint64(msg.EncodedSize(m))
+	return nil
+}
+
+// Now returns the virtual clock; it only advances in latency mode.
+func (s *Sim) Now() uint64 { return s.now }
+
+// pushEvent inserts ev into the latency min-heap (ordered by at, then seq).
+func (s *Sim) pushEvent(ev event) {
+	s.lheap = append(s.lheap, ev)
+	i := len(s.lheap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s.lheap[i], s.lheap[parent]) {
+			break
+		}
+		s.lheap[i], s.lheap[parent] = s.lheap[parent], s.lheap[i]
+		i = parent
+	}
+}
+
+// popEvent removes the earliest event from the latency heap.
+func (s *Sim) popEvent() event {
+	top := s.lheap[0]
+	last := len(s.lheap) - 1
+	s.lheap[0] = s.lheap[last]
+	s.lheap = s.lheap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s.lheap) && eventLess(s.lheap[l], s.lheap[smallest]) {
+			smallest = l
+		}
+		if r < len(s.lheap) && eventLess(s.lheap[r], s.lheap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		s.lheap[i], s.lheap[smallest] = s.lheap[smallest], s.lheap[i]
+		i = smallest
+	}
+}
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Inject enqueues a message from outside the simulation (the experiment
+// harness), e.g. the initial JOIN or a broadcast trigger.
+func (s *Sim) Inject(from, to id.ID, m msg.Message) error {
+	return s.send(from, to, m)
+}
+
+// flushDowns delivers pending connection-reset notifications to live
+// watchers. Notifications run before queued messages so that a batch of
+// simultaneous failures is observed atomically, as the paper's methodology
+// induces them.
+func (s *Sim) flushDowns() {
+	for len(s.pendingDowns) > 0 {
+		victim := s.pendingDowns[0]
+		s.pendingDowns = s.pendingDowns[1:]
+		ws := s.watchers[victim]
+		if len(ws) == 0 {
+			continue
+		}
+		vNode := s.nodes[victim]
+		vDead := vNode == nil || !vNode.alive
+		// Deterministic notification order.
+		watcherIDs := make([]id.ID, 0, len(ws))
+		for w := range ws {
+			watcherIDs = append(watcherIDs, w)
+		}
+		sortIDs(watcherIDs)
+		for _, w := range watcherIDs {
+			n := s.nodes[w]
+			if n == nil || !n.alive {
+				delete(ws, w) // dead watchers never hear anything again
+				continue
+			}
+			// A crash resets every connection; a partition resets only the
+			// links that cross the cut.
+			if !vDead && s.reachable(w, victim) {
+				continue
+			}
+			delete(ws, w)
+			if obs, ok := n.proc.(peer.FailureObserver); ok {
+				obs.OnPeerDown(victim)
+			}
+		}
+		if len(ws) == 0 {
+			delete(s.watchers, victim)
+		}
+	}
+}
+
+// Drain delivers queued messages until the queue is empty and returns the
+// number of messages delivered. Deliveries may enqueue further messages;
+// those are processed too.
+func (s *Sim) Drain() int {
+	if s.Latency != nil {
+		return s.drainTimed()
+	}
+	delivered := 0
+	s.flushDowns()
+	for s.head < len(s.queue) {
+		ev := s.queue[s.head]
+		s.head++
+		dst := s.nodes[ev.to]
+		if dst == nil || !dst.alive {
+			// Destination died while the message was in flight.
+			s.stats.Dropped++
+			continue
+		}
+		if s.Tap != nil {
+			s.Tap(ev.from, ev.to, ev.m)
+		}
+		dst.proc.Deliver(ev.from, ev.m)
+		s.stats.Delivered++
+		delivered++
+		if s.head == len(s.queue) {
+			// Queue fully consumed: reset storage so it does not grow
+			// without bound across the run.
+			s.queue = s.queue[:0]
+			s.head = 0
+		}
+	}
+	if s.head > 0 {
+		// The loop can exit right after a dropped message without passing
+		// the in-loop compaction; reset here so storage never accretes a
+		// consumed prefix across Drain calls.
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+	return delivered
+}
+
+// drainTimed is Drain in latency mode: deliveries happen in virtual-time
+// order and the clock advances to each event's timestamp.
+func (s *Sim) drainTimed() int {
+	delivered := 0
+	s.flushDowns()
+	for len(s.lheap) > 0 {
+		ev := s.popEvent()
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		dst := s.nodes[ev.to]
+		if dst == nil || !dst.alive || !s.reachable(ev.from, ev.to) {
+			// Destination died (or the network cut) while in flight.
+			s.stats.Dropped++
+			continue
+		}
+		if s.Tap != nil {
+			s.Tap(ev.from, ev.to, ev.m)
+		}
+		dst.proc.Deliver(ev.from, ev.m)
+		s.stats.Delivered++
+		delivered++
+		s.flushDowns()
+	}
+	return delivered
+}
+
+// RunCycle executes one membership protocol cycle: every live node's OnCycle
+// hook runs once, in seeded random order, with the message queue drained
+// after each hook (PeerSim cycle-driven semantics).
+func (s *Sim) RunCycle() {
+	alive := s.AliveIDs()
+	s.rand.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	for _, nodeID := range alive {
+		n := s.nodes[nodeID]
+		if n == nil || !n.alive {
+			continue // may have "failed" mid-cycle in churn scenarios
+		}
+		n.proc.OnCycle()
+		s.Drain()
+	}
+}
+
+// RunCycles executes count cycles.
+func (s *Sim) RunCycles(count int) {
+	for i := 0; i < count; i++ {
+		s.RunCycle()
+	}
+}
+
+// Fail marks nodeID as crashed. In-flight messages to it are dropped,
+// future sends to it fail with peer.ErrPeerDown, and nodes watching it (open
+// TCP connections) receive an OnPeerDown notification at the next Drain.
+func (s *Sim) Fail(nodeID id.ID) {
+	n, ok := s.nodes[nodeID]
+	if !ok || !n.alive {
+		return
+	}
+	n.alive = false
+	if len(s.watchers[nodeID]) > 0 {
+		s.pendingDowns = append(s.pendingDowns, nodeID)
+	}
+}
+
+// Revive marks a previously failed node as live again. The process state is
+// whatever it was at crash time; protocols that need a clean restart should
+// be re-added under a fresh id instead.
+func (s *Sim) Revive(nodeID id.ID) {
+	if n, ok := s.nodes[nodeID]; ok {
+		n.alive = true
+	}
+}
+
+// Alive reports whether nodeID exists and has not failed.
+func (s *Sim) Alive(nodeID id.ID) bool {
+	n, ok := s.nodes[nodeID]
+	return ok && n.alive
+}
+
+// AliveIDs returns the identifiers of all live nodes in insertion order.
+func (s *Sim) AliveIDs() []id.ID {
+	out := make([]id.ID, 0, len(s.order))
+	for _, nodeID := range s.order {
+		if s.nodes[nodeID].alive {
+			out = append(out, nodeID)
+		}
+	}
+	return out
+}
+
+// IDs returns all node identifiers (live and failed) in insertion order.
+func (s *Sim) IDs() []id.ID {
+	out := make([]id.ID, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// AliveCount returns the number of live nodes.
+func (s *Sim) AliveCount() int {
+	c := 0
+	for _, n := range s.nodes {
+		if n.alive {
+			c++
+		}
+	}
+	return c
+}
+
+// Process returns the process hosted at nodeID, or nil if unknown.
+func (s *Sim) Process(nodeID id.ID) peer.Process {
+	n, ok := s.nodes[nodeID]
+	if !ok {
+		return nil
+	}
+	return n.proc
+}
+
+// Rand returns the simulator's root random stream (used by harnesses to pick
+// broadcast sources, failure victims, ...).
+func (s *Sim) Rand() *rng.Rand { return s.rand }
+
+// Stats returns a copy of the simulator's counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Pending returns the number of queued, undelivered messages.
+func (s *Sim) Pending() int { return len(s.queue) - s.head }
+
+// reachable reports whether traffic may flow from a to b under the current
+// partition (the harness is responsible for injecting reset notifications
+// when it cuts the network; see Partition).
+func (s *Sim) reachable(a, b id.ID) bool {
+	if s.partition == nil {
+		return true
+	}
+	return s.partition[a] == s.partition[b]
+}
+
+// Partition splits the network: every node is assigned a group by assign
+// (nodes mapped to the same integer can talk; crossing traffic fails like a
+// crashed destination). Watched cross-partition links receive reset
+// notifications at the next Drain, just as crashes do — a network cut looks
+// exactly like peer death to TCP. Call Heal to remove the partition.
+func (s *Sim) Partition(assign func(id.ID) int) {
+	s.partition = make(map[id.ID]int, len(s.order))
+	for _, nodeID := range s.order {
+		s.partition[nodeID] = assign(nodeID)
+	}
+	// Break watched links that now cross the cut.
+	for watchedNode, ws := range s.watchers {
+		for watcher := range ws {
+			if !s.reachable(watcher, watchedNode) {
+				s.pendingDowns = append(s.pendingDowns, watchedNode)
+				break
+			}
+		}
+	}
+}
+
+// Heal removes the current network partition. Overlay links do not reappear
+// by themselves: the membership protocol has to re-merge the components.
+func (s *Sim) Heal() {
+	s.partition = nil
+}
+
+// sortIDs sorts identifiers ascending (insertion sort: watcher sets are tiny).
+func sortIDs(xs []id.ID) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

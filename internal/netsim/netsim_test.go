@@ -1,0 +1,507 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+	"hyparview/internal/rng"
+)
+
+// recorder is a minimal process that records deliveries and can bounce
+// messages onward.
+type recorder struct {
+	env      peer.Env
+	got      []msg.Message
+	from     []id.ID
+	downs    []id.ID
+	cycles   int
+	bounceTo id.ID // if set, every delivery is forwarded there
+}
+
+func (r *recorder) Deliver(from id.ID, m msg.Message) {
+	r.got = append(r.got, m)
+	r.from = append(r.from, from)
+	if !r.bounceTo.IsNil() {
+		_ = r.env.Send(r.bounceTo, m)
+	}
+}
+
+func (r *recorder) OnCycle() { r.cycles++ }
+
+func (r *recorder) OnPeerDown(p id.ID) { r.downs = append(r.downs, p) }
+
+func addRecorder(s *Sim, nodeID id.ID) *recorder {
+	var rec *recorder
+	s.Add(nodeID, func(env peer.Env) peer.Process {
+		rec = &recorder{env: env}
+		return rec
+	})
+	return rec
+}
+
+func TestSendDeliverFIFO(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1)
+	_ = a
+	b := addRecorder(s, 2)
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.Inject(1, 2, msg.Message{Type: msg.Gossip, Round: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Drain(); n != 5 {
+		t.Fatalf("Drain delivered %d, want 5", n)
+	}
+	for i, m := range b.got {
+		if m.Round != uint64(i+1) {
+			t.Errorf("delivery %d has round %d; FIFO violated", i, m.Round)
+		}
+		if b.from[i] != 1 {
+			t.Errorf("delivery %d from %v, want n1", i, b.from[i])
+		}
+	}
+}
+
+func TestSendToDeadFails(t *testing.T) {
+	s := New(1)
+	addRecorder(s, 1)
+	addRecorder(s, 2)
+	s.Fail(2)
+	err := s.Inject(1, 2, msg.Message{Type: msg.Gossip})
+	if !errors.Is(err, peer.ErrPeerDown) {
+		t.Errorf("send to dead node: err = %v, want ErrPeerDown", err)
+	}
+	if err := s.Inject(1, 99, msg.Message{Type: msg.Gossip}); !errors.Is(err, peer.ErrPeerDown) {
+		t.Errorf("send to unknown node: err = %v, want ErrPeerDown", err)
+	}
+}
+
+func TestInFlightDroppedOnDeath(t *testing.T) {
+	s := New(1)
+	addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	if err := s.Inject(1, 2, msg.Message{Type: msg.Gossip}); err != nil {
+		t.Fatal(err)
+	}
+	s.Fail(2) // dies with the message in flight
+	s.Drain()
+	if len(b.got) != 0 {
+		t.Error("dead node received an in-flight message")
+	}
+	if s.Stats().Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Stats().Dropped)
+	}
+}
+
+func TestProbeSemantics(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1)
+	addRecorder(s, 2)
+	if err := a.env.Probe(2); err != nil {
+		t.Errorf("probe of live node failed: %v", err)
+	}
+	s.Fail(2)
+	if err := a.env.Probe(2); !errors.Is(err, peer.ErrPeerDown) {
+		t.Errorf("probe of dead node: %v, want ErrPeerDown", err)
+	}
+}
+
+func TestWatchNotification(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	c := addRecorder(s, 3)
+	a.env.Watch(3)
+	b.env.Watch(3)
+	b.env.Unwatch(3) // b closed its connection again
+	s.Fail(3)
+	_ = c
+	s.Drain()
+	if len(a.downs) != 1 || a.downs[0] != 3 {
+		t.Errorf("watcher a downs = %v, want [n3]", a.downs)
+	}
+	if len(b.downs) != 0 {
+		t.Errorf("unwatched b downs = %v, want none", b.downs)
+	}
+}
+
+func TestWatchNotificationSkipsDeadWatchers(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1)
+	addRecorder(s, 2)
+	a.env.Watch(2)
+	s.Fail(1) // the watcher dies first
+	s.Fail(2)
+	s.Drain()
+	if len(a.downs) != 0 {
+		t.Errorf("dead watcher was notified: %v", a.downs)
+	}
+}
+
+func TestFailIdempotent(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1)
+	addRecorder(s, 2)
+	a.env.Watch(2)
+	s.Fail(2)
+	s.Fail(2) // second Fail must not queue a second notification
+	s.Drain()
+	if len(a.downs) != 1 {
+		t.Errorf("downs = %v, want exactly one", a.downs)
+	}
+}
+
+func TestReviveRestoresDelivery(t *testing.T) {
+	s := New(1)
+	addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	s.Fail(2)
+	s.Revive(2)
+	if err := s.Inject(1, 2, msg.Message{Type: msg.Gossip}); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if len(b.got) != 1 {
+		t.Error("revived node did not receive message")
+	}
+	if !s.Alive(2) {
+		t.Error("revived node not alive")
+	}
+}
+
+func TestRunCycleHitsEveryLiveNode(t *testing.T) {
+	s := New(1)
+	recs := make([]*recorder, 5)
+	for i := range recs {
+		recs[i] = addRecorder(s, id.ID(i+1))
+	}
+	s.Fail(3)
+	s.RunCycles(2)
+	for i, r := range recs {
+		want := 2
+		if id.ID(i+1) == 3 {
+			want = 0
+		}
+		if r.cycles != want {
+			t.Errorf("node %d cycles = %d, want %d", i+1, r.cycles, want)
+		}
+	}
+}
+
+func TestCascadedDeliveries(t *testing.T) {
+	// 1 -> 2 -> 3: node 2 bounces to 3; a single Drain must process the
+	// cascade.
+	s := New(1)
+	addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	c := addRecorder(s, 3)
+	b.bounceTo = 3
+	if err := s.Inject(1, 2, msg.Message{Type: msg.Gossip, Round: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Drain(); n != 2 {
+		t.Fatalf("Drain delivered %d, want 2", n)
+	}
+	if len(c.got) != 1 || c.got[0].Round != 7 {
+		t.Errorf("cascade did not reach node 3: %v", c.got)
+	}
+}
+
+func TestAliveBookkeeping(t *testing.T) {
+	s := New(1)
+	for i := 1; i <= 4; i++ {
+		addRecorder(s, id.ID(i))
+	}
+	s.Fail(2)
+	if got := s.AliveCount(); got != 3 {
+		t.Errorf("AliveCount = %d, want 3", got)
+	}
+	alive := s.AliveIDs()
+	if len(alive) != 3 {
+		t.Fatalf("AliveIDs len = %d, want 3", len(alive))
+	}
+	for _, n := range alive {
+		if n == 2 {
+			t.Error("dead node listed alive")
+		}
+	}
+	if len(s.IDs()) != 4 {
+		t.Error("IDs() must include dead nodes")
+	}
+	if s.Process(1) == nil || s.Process(99) != nil {
+		t.Error("Process lookup wrong")
+	}
+}
+
+func TestDuplicateAddPanics(t *testing.T) {
+	s := New(1)
+	addRecorder(s, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Add did not panic")
+		}
+	}()
+	addRecorder(s, 1)
+}
+
+func TestNilAddPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(Nil) did not panic")
+		}
+	}()
+	addRecorder(s, id.Nil)
+}
+
+func TestQueueLimitPanics(t *testing.T) {
+	s := New(1)
+	s.MaxQueue = 4
+	addRecorder(s, 1)
+	addRecorder(s, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("queue overflow did not panic")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip})
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New(1)
+	addRecorder(s, 1)
+	addRecorder(s, 2)
+	_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip})
+	s.Fail(2)
+	_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip})
+	s.Drain()
+	st := s.Stats()
+	if st.Sent != 1 || st.Dropped != 1 || st.SendFailures != 1 || st.Delivered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestPartitionBlocksCrossTraffic(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	s.Partition(func(n id.ID) int { return int(n % 2) })
+	if err := a.env.Send(2, msg.Message{Type: msg.Gossip}); !errors.Is(err, peer.ErrPeerDown) {
+		t.Errorf("cross-partition send: %v, want ErrPeerDown", err)
+	}
+	if err := a.env.Probe(2); !errors.Is(err, peer.ErrPeerDown) {
+		t.Errorf("cross-partition probe: %v, want ErrPeerDown", err)
+	}
+	_ = b
+	s.Heal()
+	if err := a.env.Send(2, msg.Message{Type: msg.Gossip}); err != nil {
+		t.Errorf("post-heal send: %v", err)
+	}
+	s.Drain()
+	if len(b.got) != 1 {
+		t.Error("post-heal message not delivered")
+	}
+}
+
+func TestPartitionSameSideUnaffected(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1)
+	c := addRecorder(s, 3)
+	s.Partition(func(n id.ID) int { return int(n % 2) }) // 1 and 3 same side
+	if err := a.env.Send(3, msg.Message{Type: msg.Gossip}); err != nil {
+		t.Errorf("same-side send: %v", err)
+	}
+	s.Drain()
+	if len(c.got) != 1 {
+		t.Error("same-side message lost")
+	}
+}
+
+func TestPartitionResetsOnlyCrossWatchers(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1) // group 1
+	b := addRecorder(s, 2) // group 0
+	c := addRecorder(s, 3) // group 1
+	a.env.Watch(3)         // same side: must NOT fire
+	b.env.Watch(3)         // cross side: must fire
+	s.Partition(func(n id.ID) int { return int(n % 2) })
+	s.Drain()
+	if len(a.downs) != 0 {
+		t.Errorf("same-side watcher notified: %v", a.downs)
+	}
+	if len(b.downs) != 1 || b.downs[0] != 3 {
+		t.Errorf("cross-side watcher downs = %v, want [n3]", b.downs)
+	}
+	_ = c
+}
+
+func TestPartitionThenCrashStillNotifies(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1)
+	addRecorder(s, 3)
+	a.env.Watch(3)
+	s.Partition(func(n id.ID) int { return 0 }) // everyone same group
+	s.Fail(3)
+	s.Drain()
+	if len(a.downs) != 1 {
+		t.Errorf("crash under partition not notified: %v", a.downs)
+	}
+}
+
+func TestTapObservesDeliveriesDeterministically(t *testing.T) {
+	run := func() []uint64 {
+		s := New(7)
+		var seen []uint64
+		s.Tap = func(from, to id.ID, m msg.Message) {
+			seen = append(seen, m.Round)
+		}
+		addRecorder(s, 1)
+		b := addRecorder(s, 2)
+		b.bounceTo = 3
+		addRecorder(s, 3)
+		for i := uint64(1); i <= 4; i++ {
+			_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip, Round: i})
+		}
+		s.Drain()
+		return seen
+	}
+	a, b := run(), run()
+	if len(a) != 8 { // 4 direct + 4 bounced
+		t.Fatalf("tap saw %d deliveries, want 8", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tap order diverged at %d", i)
+		}
+	}
+}
+
+func TestLatencyModeOrdersByVirtualTime(t *testing.T) {
+	s := New(1)
+	// Fixed per-destination latencies: message to 3 is slower than to 2,
+	// so despite send order 3-first, 2 must deliver first.
+	s.Latency = func(from, to id.ID, _ *rng.Rand) uint64 {
+		if to == 3 {
+			return 100
+		}
+		return 10
+	}
+	addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	c := addRecorder(s, 3)
+	order := make([]id.ID, 0, 2)
+	s.Tap = func(_, to id.ID, _ msg.Message) { order = append(order, to) }
+	_ = s.Inject(1, 3, msg.Message{Type: msg.Gossip, Round: 1})
+	_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip, Round: 2})
+	s.Drain()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("delivery order = %v, want [n2 n3]", order)
+	}
+	if len(b.got) != 1 || len(c.got) != 1 {
+		t.Error("deliveries lost")
+	}
+	if s.Now() != 100 {
+		t.Errorf("virtual clock = %d, want 100", s.Now())
+	}
+}
+
+func TestLatencyModeTieBreaksBySendOrder(t *testing.T) {
+	s := New(1)
+	s.Latency = func(id.ID, id.ID, *rng.Rand) uint64 { return 5 }
+	addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	for i := uint64(1); i <= 10; i++ {
+		_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip, Round: i})
+	}
+	s.Drain()
+	for i, m := range b.got {
+		if m.Round != uint64(i+1) {
+			t.Fatalf("tie-break violated at %d: %d", i, m.Round)
+		}
+	}
+}
+
+func TestLatencyModeClockAccumulatesAcrossHops(t *testing.T) {
+	// 1 -> 2 -> 3 with latency 7 per hop: node 3 delivers at t=14.
+	s := New(1)
+	s.Latency = func(id.ID, id.ID, *rng.Rand) uint64 { return 7 }
+	addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	b.bounceTo = 3
+	addRecorder(s, 3)
+	_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip, Round: 1})
+	s.Drain()
+	if s.Now() != 14 {
+		t.Errorf("clock = %d, want 14", s.Now())
+	}
+}
+
+func TestLatencyModeDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		s := New(9)
+		s.Latency = func(_, _ id.ID, r *rng.Rand) uint64 { return 1 + r.Uint64n(50) }
+		var order []uint64
+		s.Tap = func(_, _ id.ID, m msg.Message) { order = append(order, m.Round) }
+		addRecorder(s, 1)
+		addRecorder(s, 2)
+		addRecorder(s, 3)
+		for i := uint64(1); i <= 20; i++ {
+			_ = s.Inject(1, id.ID(2+i%2), msg.Message{Type: msg.Gossip, Round: i})
+		}
+		s.Drain()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jittered latency broke determinism at %d", i)
+		}
+	}
+}
+
+func TestLatencyModeDropsToDeadAndPartitioned(t *testing.T) {
+	s := New(1)
+	s.Latency = func(id.ID, id.ID, *rng.Rand) uint64 { return 10 }
+	addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip})
+	s.Fail(2)
+	s.Drain()
+	if len(b.got) != 0 {
+		t.Error("dead node received a timed in-flight message")
+	}
+	if s.Stats().Dropped != 1 {
+		t.Errorf("Dropped = %d", s.Stats().Dropped)
+	}
+}
+
+// TestLatencyModeWholeProtocolStillConverges runs the full HyParView cluster
+// flow under a jittered latency model: reliability must be unaffected (the
+// protocol is asynchronous; only timing changes).
+func TestLatencyModeWholeProtocolStillConverges(t *testing.T) {
+	s := New(33)
+	s.Latency = func(_, _ id.ID, r *rng.Rand) uint64 { return 1 + r.Uint64n(20) }
+	// Reuse the recorder-free core protocol path via peer plumbing is
+	// exercised in package core's tests; here a message-count sanity check
+	// suffices: inject a chain and confirm cascaded timed delivery works.
+	a := addRecorder(s, 1)
+	b := addRecorder(s, 2)
+	c := addRecorder(s, 3)
+	b.bounceTo = 3
+	_ = a
+	for i := uint64(1); i <= 50; i++ {
+		_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip, Round: i})
+	}
+	s.Drain()
+	if len(c.got) != 50 {
+		t.Fatalf("cascaded timed deliveries = %d, want 50", len(c.got))
+	}
+}

@@ -1,0 +1,94 @@
+// Package peer defines the contracts shared by every membership protocol in
+// this repository and by the two environments that host them (the
+// discrete-event simulator and the real TCP transport).
+//
+// Splitting these interfaces into their own package keeps the protocol
+// packages (core, cyclon, scamp), the broadcast layer (gossip) and the
+// environments (netsim, transport) free of import cycles.
+package peer
+
+import (
+	"errors"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/rng"
+)
+
+// ErrPeerDown is returned by Env.Send and Env.Probe when the destination has
+// failed or is unreachable. It models a TCP connection reset/refusal: the
+// paper relies on exactly this signal as its failure detector (§1 item iii).
+var ErrPeerDown = errors.New("peer: destination down")
+
+// Env is the environment a protocol instance runs in. The simulator provides
+// a synchronous deterministic implementation; the transport package provides
+// one backed by real TCP connections.
+type Env interface {
+	// Self returns the identifier of the local node.
+	Self() id.ID
+
+	// Send delivers m to dst. It returns ErrPeerDown (possibly wrapped) when
+	// dst is known to have failed; protocols built on reliable transports
+	// treat that as failure detection, protocols modelling lossy gossip
+	// ignore it.
+	Send(dst id.ID, m msg.Message) error
+
+	// Probe attempts to establish a connection to dst without sending
+	// anything, modelling a bare TCP connect (paper §4.3: the first step of
+	// replacing a failed active-view member).
+	Probe(dst id.ID) error
+
+	// Rand returns the node's private deterministic random stream.
+	Rand() *rng.Rand
+
+	// Watch registers interest in connection-level failure notifications
+	// for dst, modelling an open TCP connection: if dst fails while
+	// watched, the environment invokes the process's OnPeerDown (see
+	// FailureObserver). HyParView watches its active view — TCP doubles as
+	// its failure detector (§4.1 item iii) — while Cyclon and Scamp, which
+	// keep no connections open, never watch anything.
+	Watch(dst id.ID)
+
+	// Unwatch cancels a Watch, modelling closing the connection.
+	Unwatch(dst id.ID)
+}
+
+// FailureObserver is implemented by processes that want asynchronous
+// connection-breakage notifications for peers they Watch.
+type FailureObserver interface {
+	OnPeerDown(peerID id.ID)
+}
+
+// Membership is the behaviour every membership protocol exposes to the
+// gossip broadcast layer and to the experiment harness.
+type Membership interface {
+	// Deliver processes one membership protocol message from the network.
+	Deliver(from id.ID, m msg.Message)
+
+	// OnCycle executes one periodic membership step (the cyclic part of the
+	// protocol: HyParView and Cyclon shuffles, Scamp lease/heartbeats).
+	OnCycle()
+
+	// Neighbors returns the node's current overlay out-neighbors: the active
+	// view for HyParView, the partial view for Cyclon and Scamp. The result
+	// is a fresh slice.
+	Neighbors() []id.ID
+
+	// GossipTargets returns the peers a broadcast should be forwarded to,
+	// excluding exclude (usually the hop the message arrived from). Flooding
+	// protocols return all neighbors; peer-sampling protocols return fanout
+	// random members.
+	GossipTargets(fanout int, exclude id.ID) []id.ID
+
+	// OnPeerDown informs the protocol that a send to peerID failed. This is
+	// the reactive failure-detection path: HyParView repairs its active
+	// view, CyclonAcked purges the entry, plain Cyclon and Scamp ignore it.
+	OnPeerDown(peerID id.ID)
+}
+
+// Process is the unit the simulator schedules: message delivery plus the
+// periodic cycle hook.
+type Process interface {
+	Deliver(from id.ID, m msg.Message)
+	OnCycle()
+}

@@ -1,0 +1,307 @@
+// Package sim is the experiment harness: it builds simulated clusters
+// running one of the membership protocols under the gossip broadcast layer
+// and reproduces every figure and table of the paper's evaluation (§5).
+//
+// Methodology (paper §5): the overlay is created by having nodes join one by
+// one, without membership rounds in between; HyParView and Cyclon use a
+// single contact node, SCAMP uses a random node already in the overlay. A
+// stabilization period of 50 membership cycles follows. Failures are induced
+// at random, and broadcast bursts are sent from random correct nodes with no
+// periodic membership cycles in between — only reactive steps run.
+package sim
+
+import (
+	"fmt"
+
+	"hyparview/internal/core"
+	"hyparview/internal/cyclon"
+	"hyparview/internal/gossip"
+	"hyparview/internal/graph"
+	"hyparview/internal/id"
+	"hyparview/internal/netsim"
+	"hyparview/internal/peer"
+	"hyparview/internal/rng"
+	"hyparview/internal/scamp"
+)
+
+// Protocol selects the membership protocol under test.
+type Protocol int
+
+// The four protocols of the paper's evaluation.
+const (
+	HyParView Protocol = iota + 1
+	Cyclon
+	CyclonAcked
+	Scamp
+)
+
+// String names the protocol as the paper does.
+func (p Protocol) String() string {
+	switch p {
+	case HyParView:
+		return "HyParView"
+	case Cyclon:
+		return "Cyclon"
+	case CyclonAcked:
+		return "CyclonAcked"
+	case Scamp:
+		return "Scamp"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// AllProtocols lists the protocols in the paper's presentation order.
+func AllProtocols() []Protocol {
+	return []Protocol{HyParView, CyclonAcked, Cyclon, Scamp}
+}
+
+// Options configures a cluster build.
+type Options struct {
+	// N is the cluster size (paper: 10,000).
+	N int
+	// Seed drives all randomness of the run.
+	Seed uint64
+	// Fanout is the gossip fan-out for the peer-sampling protocols
+	// (paper §5.1: 4). HyParView floods and ignores it.
+	Fanout int
+	// HyParView, Cyclon and Scamp override protocol parameters; zero fields
+	// take the paper's defaults.
+	HyParView core.Config
+	Cyclon    cyclon.Config
+	Scamp     scamp.Config
+	// ConfigureHyParView, when set, customizes the HyParView configuration
+	// per node (by join index): the hook behind the heterogeneous-degree
+	// extension experiment (paper §6 future work).
+	ConfigureHyParView func(i int, cfg core.Config) core.Config
+	// Latency, when set, installs a virtual-time latency model on the
+	// simulator (see netsim.Sim.Latency). The paper's experiments measure
+	// hops and run in the default FIFO mode.
+	Latency func(from, to id.ID, r *rng.Rand) uint64
+	// StabilizationCycles is used by Stabilize callers that take the
+	// default (paper: 50).
+	StabilizationCycles int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 4
+	}
+	if o.StabilizationCycles == 0 {
+		o.StabilizationCycles = 50
+	}
+	return o
+}
+
+// Cluster is a simulated population of nodes running one membership protocol
+// under the gossip broadcast layer.
+type Cluster struct {
+	Protocol Protocol
+	Opts     Options
+	Sim      *netsim.Sim
+	Tracker  *gossip.Tracker
+
+	ids        []id.ID
+	gossipers  map[id.ID]*gossip.Node
+	membership map[id.ID]peer.Membership
+}
+
+// NewCluster builds a cluster of opts.N nodes running proto, joined one by
+// one per the paper's methodology, with all join traffic fully processed.
+func NewCluster(proto Protocol, opts Options) *Cluster {
+	opts = opts.withDefaults()
+	c := &Cluster{
+		Protocol:   proto,
+		Opts:       opts,
+		Sim:        netsim.New(opts.Seed),
+		Tracker:    gossip.NewTracker(),
+		gossipers:  make(map[id.ID]*gossip.Node, opts.N),
+		membership: make(map[id.ID]peer.Membership, opts.N),
+	}
+	c.Sim.Latency = opts.Latency
+	gcfg := c.gossipConfig()
+	for i := 0; i < opts.N; i++ {
+		nodeID := id.ID(i + 1)
+		c.ids = append(c.ids, nodeID)
+		var joiner interface{ Join(id.ID) error }
+		c.Sim.Add(nodeID, func(env peer.Env) peer.Process {
+			m := c.newMembership(env, i)
+			joiner = m.(interface{ Join(id.ID) error })
+			g := gossip.New(env, m, gcfg, c.Tracker.Deliver)
+			c.gossipers[nodeID] = g
+			c.membership[nodeID] = m
+			return g
+		})
+		if i > 0 {
+			// Paper §5: one-by-one joins, no cycles in between. HyParView
+			// and Cyclon use a single contact; SCAMP uses a random node
+			// already in the overlay.
+			contact := c.ids[0]
+			if proto == Scamp {
+				contact = c.ids[c.Sim.Rand().Intn(i)]
+			}
+			if err := joiner.Join(contact); err != nil {
+				panic(fmt.Sprintf("sim: join of %v via %v failed: %v", nodeID, contact, err))
+			}
+			c.Sim.Drain()
+		}
+	}
+	return c
+}
+
+// newMembership constructs the protocol instance for the node with join
+// index i.
+func (c *Cluster) newMembership(env peer.Env, i int) peer.Membership {
+	switch c.Protocol {
+	case HyParView:
+		cfg := c.Opts.HyParView
+		if c.Opts.ConfigureHyParView != nil {
+			cfg = c.Opts.ConfigureHyParView(i, cfg.WithDefaults())
+		}
+		return core.New(env, cfg)
+	case Cyclon:
+		cfg := c.Opts.Cyclon
+		cfg.DetectFailures = false
+		return cyclon.New(env, cfg)
+	case CyclonAcked:
+		cfg := c.Opts.Cyclon
+		cfg.DetectFailures = true
+		return cyclon.New(env, cfg)
+	case Scamp:
+		return scamp.New(env, c.Opts.Scamp)
+	default:
+		panic(fmt.Sprintf("sim: unknown protocol %v", c.Protocol))
+	}
+}
+
+// gossipConfig maps the protocol to its broadcast behaviour (paper §5).
+func (c *Cluster) gossipConfig() gossip.Config {
+	switch c.Protocol {
+	case HyParView:
+		// Deterministic flooding over TCP links doubling as failure
+		// detectors.
+		return gossip.Config{Mode: gossip.Flood, ReportPeerDown: true}
+	case CyclonAcked:
+		// Random fan-out with per-send acknowledgments.
+		return gossip.Config{Mode: gossip.Fanout, Fanout: c.Opts.Fanout, ReportPeerDown: true}
+	default:
+		// Plain Cyclon and SCAMP: fire-and-forget random fan-out.
+		return gossip.Config{Mode: gossip.Fanout, Fanout: c.Opts.Fanout}
+	}
+}
+
+// Stabilize runs the given number of membership cycles (paper: 50) over the
+// whole cluster.
+func (c *Cluster) Stabilize(cycles int) {
+	c.Sim.RunCycles(cycles)
+}
+
+// FailFraction crashes frac (0..1) of the currently live nodes, chosen
+// uniformly at random, and returns how many were killed.
+func (c *Cluster) FailFraction(frac float64) int {
+	alive := c.Sim.AliveIDs()
+	k := int(frac*float64(len(alive)) + 0.5)
+	if k <= 0 {
+		return 0
+	}
+	if k >= len(alive) {
+		k = len(alive) - 1 // always leave at least one node to broadcast
+	}
+	r := c.Sim.Rand()
+	r.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	for _, victim := range alive[:k] {
+		c.Sim.Fail(victim)
+	}
+	return k
+}
+
+// Broadcast sends one broadcast from a uniformly random live node, fully
+// processes the resulting traffic, and returns the message's reliability:
+// the fraction of live nodes that delivered it (paper §2.5).
+func (c *Cluster) Broadcast() float64 {
+	alive := c.Sim.AliveIDs()
+	if len(alive) == 0 {
+		return 0
+	}
+	source := alive[c.Sim.Rand().Intn(len(alive))]
+	round := c.Tracker.NextRound()
+	c.gossipers[source].Broadcast(round, nil)
+	c.Sim.Drain()
+	rel := c.Tracker.Reliability(round, len(alive))
+	c.Tracker.Forget(round)
+	return rel
+}
+
+// BroadcastDetailed is Broadcast plus hop statistics: it returns the
+// reliability, the maximum hop count and the average hop count of the
+// deliveries.
+func (c *Cluster) BroadcastDetailed() (rel float64, maxHops int, avgHops float64) {
+	alive := c.Sim.AliveIDs()
+	if len(alive) == 0 {
+		return 0, 0, 0
+	}
+	source := alive[c.Sim.Rand().Intn(len(alive))]
+	round := c.Tracker.NextRound()
+	c.gossipers[source].Broadcast(round, nil)
+	c.Sim.Drain()
+	rel = c.Tracker.Reliability(round, len(alive))
+	maxHops = c.Tracker.MaxHops(round)
+	avgHops = c.Tracker.AvgHops(round)
+	c.Tracker.Forget(round)
+	return rel, maxHops, avgHops
+}
+
+// BroadcastBurst sends count broadcasts back to back (no membership cycles
+// in between, per the paper's failure methodology) and returns the
+// per-message reliability series.
+func (c *Cluster) BroadcastBurst(count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = c.Broadcast()
+	}
+	return out
+}
+
+// Snapshot captures the live overlay for graph analysis. For HyParView the
+// overlay is the active views (paper footnote 5).
+func (c *Cluster) Snapshot() *graph.Snapshot {
+	alive := c.Sim.AliveIDs()
+	return graph.Build(alive, func(n id.ID) []id.ID {
+		return c.membership[n].Neighbors()
+	})
+}
+
+// Accuracy computes the paper's view-accuracy metric over the live nodes.
+func (c *Cluster) Accuracy() float64 {
+	return graph.Accuracy(c.Sim.AliveIDs(), func(n id.ID) []id.ID {
+		return c.membership[n].Neighbors()
+	}, c.Sim.Alive)
+}
+
+// Membership exposes the protocol instance of one node (tests, metrics).
+func (c *Cluster) Membership(n id.ID) peer.Membership { return c.membership[n] }
+
+// Gossiper exposes the gossip node of one node (tests, metrics).
+func (c *Cluster) Gossiper(n id.ID) *gossip.Node { return c.gossipers[n] }
+
+// IDs returns the full population (live and failed) in join order.
+func (c *Cluster) IDs() []id.ID {
+	out := make([]id.ID, len(c.ids))
+	copy(out, c.ids)
+	return out
+}
+
+// ResetSeen clears all per-node delivered-message tables; long experiments
+// call this between phases to bound memory.
+func (c *Cluster) ResetSeen() {
+	for _, g := range c.gossipers {
+		g.ResetSeen()
+	}
+}

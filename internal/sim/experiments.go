@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"fmt"
+
+	"hyparview/internal/metrics"
+)
+
+// Experiment drivers: one per figure/table of the paper's evaluation (§5).
+// Each returns a metrics.Table whose rows mirror the series the paper plots.
+// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+
+// Fig1FanoutReliability reproduces Fig. 1(a)/(b): the average reliability of
+// msgs broadcasts after stabilization, as a function of the gossip fanout,
+// for one peer-sampling protocol (Cyclon for 1a, Scamp for 1b).
+func Fig1FanoutReliability(proto Protocol, opts Options, fanouts []int, msgs int) *metrics.Table {
+	opts = opts.withDefaults()
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig1 %s: fanout vs reliability (n=%d, %d msgs)", proto, opts.N, msgs),
+		"fanout", "reliability", "min", "max")
+	for _, f := range fanouts {
+		o := opts
+		o.Fanout = f
+		o.Seed = opts.Seed + uint64(f)*1000
+		c := NewCluster(proto, o)
+		c.Stabilize(o.StabilizationCycles)
+		rels := c.BroadcastBurst(msgs)
+		s := metrics.Summarize(rels)
+		t.AddRow(f, s.Mean, s.Min, s.Max)
+	}
+	return t
+}
+
+// Fig1cFailure50 reproduces Fig. 1(c): per-message reliability of the 100
+// messages exchanged right after 50% of the nodes fail, for Cyclon and
+// Scamp, before any membership cycle runs.
+func Fig1cFailure50(opts Options, msgs int) *metrics.Table {
+	opts = opts.withDefaults()
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig1c: reliability after 50%% failures (n=%d)", opts.N),
+		"msg", "cyclon", "scamp")
+	series := make(map[Protocol][]float64)
+	for _, p := range []Protocol{Cyclon, Scamp} {
+		c := NewCluster(p, opts)
+		c.Stabilize(opts.StabilizationCycles)
+		c.FailFraction(0.5)
+		series[p] = c.BroadcastBurst(msgs)
+	}
+	for i := 0; i < msgs; i++ {
+		t.AddRow(i+1, series[Cyclon][i], series[Scamp][i])
+	}
+	return t
+}
+
+// Fig2Point is one protocol/failure-percentage measurement of Fig. 2.
+type Fig2Point struct {
+	Protocol    Protocol
+	FailPct     int
+	Reliability float64 // mean over the burst
+	Final       float64 // reliability of the last message (post-recovery)
+}
+
+// Fig2MassFailure reproduces Fig. 2: the average reliability of msgs (paper:
+// 1000) broadcasts sent immediately after failing failPcts percent of the
+// nodes, for all four protocols.
+func Fig2MassFailure(opts Options, failPcts []int, msgs int) ([]Fig2Point, *metrics.Table) {
+	opts = opts.withDefaults()
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig2: mean reliability of %d msgs after mass failure (n=%d)", msgs, opts.N),
+		"fail%", "hyparview", "cyclonacked", "cyclon", "scamp")
+	var points []Fig2Point
+	byPct := make(map[int]map[Protocol]float64)
+	for _, pct := range failPcts {
+		byPct[pct] = make(map[Protocol]float64)
+		for _, p := range AllProtocols() {
+			o := opts
+			o.Seed = opts.Seed + uint64(pct)*31 + uint64(p)*7919
+			c := NewCluster(p, o)
+			c.Stabilize(o.StabilizationCycles)
+			c.FailFraction(float64(pct) / 100)
+			rels := c.BroadcastBurst(msgs)
+			mean := metrics.Mean(rels)
+			byPct[pct][p] = mean
+			points = append(points, Fig2Point{
+				Protocol:    p,
+				FailPct:     pct,
+				Reliability: mean,
+				Final:       rels[len(rels)-1],
+			})
+		}
+	}
+	for _, pct := range failPcts {
+		m := byPct[pct]
+		t.AddRow(pct, m[HyParView], m[CyclonAcked], m[Cyclon], m[Scamp])
+	}
+	return points, t
+}
+
+// Fig3Recovery reproduces Fig. 3(a-f): the per-message reliability series
+// after failing pct percent of the nodes, for all four protocols.
+func Fig3Recovery(opts Options, pct int, msgs int) *metrics.Table {
+	opts = opts.withDefaults()
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig3 (%d%% failures, n=%d): reliability per message", pct, opts.N),
+		"msg", "hyparview", "cyclonacked", "cyclon", "scamp")
+	series := make(map[Protocol][]float64)
+	for _, p := range AllProtocols() {
+		o := opts
+		o.Seed = opts.Seed + uint64(pct)*31 + uint64(p)*7919
+		c := NewCluster(p, o)
+		c.Stabilize(o.StabilizationCycles)
+		c.FailFraction(float64(pct) / 100)
+		series[p] = c.BroadcastBurst(msgs)
+	}
+	for i := 0; i < msgs; i++ {
+		t.AddRow(i+1, series[HyParView][i], series[CyclonAcked][i],
+			series[Cyclon][i], series[Scamp][i])
+	}
+	return t
+}
+
+// HealingResult is one protocol/failure-level measurement of Fig. 4.
+type HealingResult struct {
+	Protocol Protocol
+	FailPct  int
+	// Cycles is the number of membership cycles needed to regain the
+	// pre-failure reliability; -1 when MaxCycles was exhausted first.
+	Cycles int
+}
+
+// Fig4HealingTime reproduces Fig. 4: after a mass failure, how many
+// membership cycles each protocol needs to regain its pre-failure
+// reliability. Each cycle, probes broadcasts from random live nodes are
+// averaged (paper: 10). Scamp is excluded, as in the paper, because its
+// healing depends on the lease timer.
+func Fig4HealingTime(opts Options, failPcts []int, probes, maxCycles int) ([]HealingResult, *metrics.Table) {
+	opts = opts.withDefaults()
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig4: membership cycles to regain pre-failure reliability (n=%d)", opts.N),
+		"fail%", "hyparview", "cyclonacked", "cyclon")
+	protos := []Protocol{HyParView, CyclonAcked, Cyclon}
+	var results []HealingResult
+	cells := make(map[int]map[Protocol]string)
+	for _, pct := range failPcts {
+		cells[pct] = make(map[Protocol]string)
+		for _, p := range protos {
+			o := opts
+			o.Seed = opts.Seed + uint64(pct)*131 + uint64(p)*104729
+			c := NewCluster(p, o)
+			c.Stabilize(o.StabilizationCycles)
+			baseline := metrics.Mean(c.BroadcastBurst(probes))
+			c.FailFraction(float64(pct) / 100)
+			cycles := -1
+			for cyc := 1; cyc <= maxCycles; cyc++ {
+				c.Sim.RunCycle()
+				rel := metrics.Mean(c.BroadcastBurst(probes))
+				if rel >= baseline {
+					cycles = cyc
+					break
+				}
+			}
+			results = append(results, HealingResult{Protocol: p, FailPct: pct, Cycles: cycles})
+			if cycles < 0 {
+				cells[pct][p] = fmt.Sprintf(">%d", maxCycles)
+			} else {
+				cells[pct][p] = fmt.Sprintf("%d", cycles)
+			}
+		}
+	}
+	for _, pct := range failPcts {
+		m := cells[pct]
+		t.AddRow(pct, m[HyParView], m[CyclonAcked], m[Cyclon])
+	}
+	return results, t
+}
+
+// Table1Row is one protocol's graph-property measurement of Table 1.
+type Table1Row struct {
+	Protocol       Protocol
+	Clustering     float64
+	AvgShortestPth float64
+	MaxHops        float64 // mean over messages of the per-message max hops
+}
+
+// Table1GraphProperties reproduces Table 1: average clustering coefficient,
+// average shortest path and maximum hops to delivery after stabilization.
+// aspSamples bounds the shortest-path BFS sources (<=0 for exact); hopMsgs
+// is the number of broadcasts averaged for the hop column.
+func Table1GraphProperties(opts Options, aspSamples, hopMsgs int) ([]Table1Row, *metrics.Table) {
+	opts = opts.withDefaults()
+	t := metrics.NewTable(
+		fmt.Sprintf("Table1: overlay graph properties after stabilization (n=%d)", opts.N),
+		"protocol", "clustering", "avg-shortest-path", "max-hops-to-delivery")
+	var rows []Table1Row
+	for _, p := range []Protocol{Cyclon, Scamp, HyParView} { // paper's row order
+		o := opts
+		o.Seed = opts.Seed + uint64(p)*7919
+		c := NewCluster(p, o)
+		c.Stabilize(o.StabilizationCycles)
+		snap := c.Snapshot()
+		cc := snap.ClusteringCoefficient()
+		asp := snap.AvgShortestPath(c.Sim.Rand(), aspSamples)
+		var maxHops float64
+		for i := 0; i < hopMsgs; i++ {
+			_, mh, _ := c.BroadcastDetailed()
+			maxHops += float64(mh)
+		}
+		if hopMsgs > 0 {
+			maxHops /= float64(hopMsgs)
+		}
+		rows = append(rows, Table1Row{
+			Protocol: p, Clustering: cc, AvgShortestPth: asp, MaxHops: maxHops,
+		})
+		t.AddRow(p.String(), fmt.Sprintf("%.6f", cc), asp, maxHops)
+	}
+	return rows, t
+}
+
+// Fig5InDegree reproduces Fig. 5: the in-degree distribution of the overlay
+// after stabilization, for the three membership protocols.
+func Fig5InDegree(opts Options) *metrics.Table {
+	opts = opts.withDefaults()
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig5: in-degree distribution after stabilization (n=%d)", opts.N),
+		"protocol", "in-degree", "nodes")
+	for _, p := range []Protocol{Cyclon, Scamp, HyParView} {
+		o := opts
+		o.Seed = opts.Seed + uint64(p)*7919
+		c := NewCluster(p, o)
+		c.Stabilize(o.StabilizationCycles)
+		dist := c.Snapshot().InDegreeDistribution()
+		h := metrics.IntHistogram(dist)
+		for _, k := range h.Keys() {
+			t.AddRow(p.String(), k, dist[k])
+		}
+	}
+	return t
+}
+
+// Fig2MassFailureRuns aggregates Fig2MassFailure over runs independent
+// seeded executions, as the paper does ("results show an aggregation from
+// multiple runs of each experiment", §5.1). The table reports per-cell
+// means.
+func Fig2MassFailureRuns(opts Options, failPcts []int, msgs, runs int) *metrics.Table {
+	opts = opts.withDefaults()
+	if runs < 1 {
+		runs = 1
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig2: mean reliability of %d msgs after mass failure (n=%d, %d runs)",
+			msgs, opts.N, runs),
+		"fail%", "hyparview", "cyclonacked", "cyclon", "scamp")
+	acc := make(map[int]map[Protocol]float64)
+	for run := 0; run < runs; run++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(run)*1_000_003
+		points, _ := Fig2MassFailure(o, failPcts, msgs)
+		for _, p := range points {
+			if acc[p.FailPct] == nil {
+				acc[p.FailPct] = make(map[Protocol]float64)
+			}
+			acc[p.FailPct][p.Protocol] += p.Reliability / float64(runs)
+		}
+	}
+	for _, pct := range failPcts {
+		m := acc[pct]
+		t.AddRow(pct, m[HyParView], m[CyclonAcked], m[Cyclon], m[Scamp])
+	}
+	return t
+}
+
+// Fig4HealingTimeRuns aggregates Fig4HealingTime over runs seeded
+// executions, reporting mean cycles-to-heal per cell (protocols that exhaust
+// maxCycles contribute maxCycles, a lower bound).
+func Fig4HealingTimeRuns(opts Options, failPcts []int, probes, maxCycles, runs int) *metrics.Table {
+	opts = opts.withDefaults()
+	if runs < 1 {
+		runs = 1
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig4: cycles to regain pre-failure reliability (n=%d, %d runs)",
+			opts.N, runs),
+		"fail%", "hyparview", "cyclonacked", "cyclon")
+	acc := make(map[int]map[Protocol]float64)
+	for run := 0; run < runs; run++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(run)*1_000_003
+		results, _ := Fig4HealingTime(o, failPcts, probes, maxCycles)
+		for _, r := range results {
+			if acc[r.FailPct] == nil {
+				acc[r.FailPct] = make(map[Protocol]float64)
+			}
+			c := r.Cycles
+			if c < 0 {
+				c = maxCycles
+			}
+			acc[r.FailPct][r.Protocol] += float64(c) / float64(runs)
+		}
+	}
+	for _, pct := range failPcts {
+		m := acc[pct]
+		t.AddRow(pct, m[HyParView], m[CyclonAcked], m[Cyclon])
+	}
+	return t
+}

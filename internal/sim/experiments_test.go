@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are exercised at reduced scale here; full paper
+// scale (n=10,000) runs through cmd/hpv-sim and is recorded in
+// EXPERIMENTS.md.
+
+func smallOpts() Options {
+	return Options{N: 400, Seed: 3, StabilizationCycles: 30}
+}
+
+func TestFig1FanoutReliabilityMonotonicity(t *testing.T) {
+	tbl := Fig1FanoutReliability(Cyclon, smallOpts(), []int{1, 3, 6}, 15)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Reliability must grow with fanout (paper Fig. 1a): compare fanout 1
+	// vs fanout 6.
+	lo := parseF(t, tbl.Rows[0][1])
+	hi := parseF(t, tbl.Rows[2][1])
+	if hi <= lo {
+		t.Errorf("reliability not increasing with fanout: f1=%.3f f6=%.3f", lo, hi)
+	}
+	if hi < 0.9 {
+		t.Errorf("fanout-6 reliability = %.3f, want high", hi)
+	}
+}
+
+func TestFig1cFailureSeries(t *testing.T) {
+	tbl := Fig1cFailure50(smallOpts(), 10)
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(tbl.Rows))
+	}
+	if tbl.Columns[1] != "cyclon" || tbl.Columns[2] != "scamp" {
+		t.Errorf("columns = %v", tbl.Columns)
+	}
+}
+
+func TestFig2ShapeMatchesPaper(t *testing.T) {
+	points, tbl := Fig2MassFailure(smallOpts(), []int{40, 80}, 40)
+	if len(points) != 8 {
+		t.Fatalf("points = %d, want 2 pcts * 4 protocols", len(points))
+	}
+	get := func(p Protocol, pct int) float64 {
+		for _, pt := range points {
+			if pt.Protocol == p && pt.FailPct == pct {
+				return pt.Reliability
+			}
+		}
+		t.Fatalf("missing point %v %d", p, pct)
+		return 0
+	}
+	// Shape assertions from the paper's Fig. 2:
+	// HyParView is barely affected below 90%.
+	if hv := get(HyParView, 80); hv < 0.9 {
+		t.Errorf("HyParView @80%% = %.3f, want >= 0.9", hv)
+	}
+	// Order at 80%: HyParView >= CyclonAcked >= Cyclon.
+	if !(get(HyParView, 80) >= get(CyclonAcked, 80)) {
+		t.Errorf("HyParView (%.3f) below CyclonAcked (%.3f) at 80%%",
+			get(HyParView, 80), get(CyclonAcked, 80))
+	}
+	if !(get(CyclonAcked, 80) > get(Cyclon, 80)) {
+		t.Errorf("CyclonAcked (%.3f) not above Cyclon (%.3f) at 80%%",
+			get(CyclonAcked, 80), get(Cyclon, 80))
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("table rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig3RecoverySeries(t *testing.T) {
+	tbl := Fig3Recovery(smallOpts(), 60, 25)
+	if len(tbl.Rows) != 25 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// HyParView's column must end near 1.0.
+	last := parseF(t, tbl.Rows[24][1])
+	if last < 0.95 {
+		t.Errorf("HyParView final reliability = %.3f, want >= 0.95", last)
+	}
+}
+
+func TestFig4HealingShape(t *testing.T) {
+	results, tbl := Fig4HealingTime(smallOpts(), []int{40}, 5, 60)
+	byProto := map[Protocol]int{}
+	for _, r := range results {
+		byProto[r.Protocol] = r.Cycles
+	}
+	// Paper Fig. 4: HyParView recovers in 1-2 cycles for <= 80% failures.
+	if hv := byProto[HyParView]; hv < 0 || hv > 3 {
+		t.Errorf("HyParView healing = %d cycles, want <= 3", hv)
+	}
+	// Cyclon needs (many) more cycles than HyParView.
+	if cy := byProto[Cyclon]; cy >= 0 && cy < byProto[HyParView] {
+		t.Errorf("Cyclon healed faster (%d) than HyParView (%d)", cy, byProto[HyParView])
+	}
+	if len(tbl.Rows) != 1 {
+		t.Errorf("table rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, tbl := Table1GraphProperties(smallOpts(), 50, 10)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(p Protocol) Table1Row {
+		for _, r := range rows {
+			if r.Protocol == p {
+				return r
+			}
+		}
+		t.Fatalf("missing %v", p)
+		return Table1Row{}
+	}
+	hv, cy, sc := get(HyParView), get(Cyclon), get(Scamp)
+	// Paper Table 1 shape: HyParView's clustering is far below both
+	// baselines; its ASP is the largest; its delivery hops the smallest.
+	if !(hv.Clustering < cy.Clustering && hv.Clustering < sc.Clustering) {
+		t.Errorf("clustering order wrong: hv=%.5f cy=%.5f sc=%.5f",
+			hv.Clustering, cy.Clustering, sc.Clustering)
+	}
+	if !(hv.AvgShortestPth > cy.AvgShortestPth) {
+		t.Errorf("ASP order wrong: hv=%.3f cy=%.3f", hv.AvgShortestPth, cy.AvgShortestPth)
+	}
+	if !(hv.MaxHops < cy.MaxHops && hv.MaxHops < sc.MaxHops) {
+		t.Errorf("hops order wrong: hv=%.2f cy=%.2f sc=%.2f",
+			hv.MaxHops, cy.MaxHops, sc.MaxHops)
+	}
+	if !strings.Contains(tbl.String(), "HyParView") {
+		t.Error("table missing protocol names")
+	}
+}
+
+func TestFig5InDegreeShape(t *testing.T) {
+	tbl := Fig5InDegree(Options{N: 300, Seed: 3, StabilizationCycles: 30})
+	// HyParView rows must concentrate at the active view size (5) while
+	// Cyclon spreads over a wide range (paper Fig. 5).
+	hvPeak, hvTotal := 0, 0
+	cyValues := 0
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "HyParView":
+			n := parseI(t, row[2])
+			hvTotal += n
+			if row[1] == "5" {
+				hvPeak += n
+			}
+		case "Cyclon":
+			cyValues++
+		}
+	}
+	if hvTotal == 0 || float64(hvPeak)/float64(hvTotal) < 0.7 {
+		t.Errorf("HyParView in-degree not concentrated at 5: peak=%d total=%d", hvPeak, hvTotal)
+	}
+	if cyValues < 5 {
+		t.Errorf("Cyclon in-degree spread suspiciously narrow: %d distinct values", cyValues)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func parseI(t *testing.T, s string) int {
+	t.Helper()
+	var v int
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// fmtSscan avoids importing fmt at top-of-file churn in the test helpers.
+func fmtSscan(s string, v interface{}) (int, error) { return fmt.Sscan(s, v) }
+
+func TestFig2RunsAggregation(t *testing.T) {
+	opts := Options{N: 200, Seed: 3, StabilizationCycles: 10}
+	tbl := Fig2MassFailureRuns(opts, []int{50}, 10, 2)
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if hv := parseF(t, tbl.Rows[0][1]); hv < 0.9 {
+		t.Errorf("aggregated HyParView rel = %.3f", hv)
+	}
+}
+
+func TestFig4RunsAggregation(t *testing.T) {
+	opts := Options{N: 200, Seed: 3, StabilizationCycles: 10}
+	tbl := Fig4HealingTimeRuns(opts, []int{40}, 3, 20, 2)
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	hv := parseF(t, tbl.Rows[0][1])
+	if hv < 1 || hv > 5 {
+		t.Errorf("aggregated HyParView healing = %.2f cycles", hv)
+	}
+}

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSmokeAllProtocols(t *testing.T) {
+	for _, p := range AllProtocols() {
+		c := NewCluster(p, Options{N: 1000, Seed: 42})
+		c.Stabilize(50)
+		snap := c.Snapshot()
+		rel := c.Broadcast()
+		deg := 0.0
+		for _, d := range snap.OutDegrees() {
+			deg += float64(d)
+		}
+		deg /= float64(snap.Order())
+		fmt.Printf("%-12s  conn=%v  lcc=%.3f  avgdeg=%.2f  rel=%.4f  cc=%.5f sym=%.3f\n",
+			p, snap.IsConnected(), snap.LargestComponentFraction(), deg, rel,
+			snap.ClusteringCoefficient(), snap.SymmetryFraction())
+		c.FailFraction(0.5)
+		rels := c.BroadcastBurst(20)
+		fmt.Printf("   after 50%% fail: first=%.3f last=%.3f\n", rels[0], rels[19])
+	}
+}

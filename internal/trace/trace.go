@@ -1,0 +1,185 @@
+// Package trace is a lightweight, allocation-conscious event recorder for
+// protocol debugging and tests: a bounded ring of structured events that the
+// simulator's message tap and the membership listeners can feed.
+//
+// It is intentionally not a logger: events are typed, cheap to record, and
+// meant to be asserted on (tests) or dumped post-mortem (debugging a
+// mis-converging overlay).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// MsgDelivered: a protocol message was delivered From -> Node.
+	MsgDelivered Kind = iota + 1
+	// NeighborUp: Peer entered Node's active view.
+	NeighborUp
+	// NeighborDown: Peer left Node's active view.
+	NeighborDown
+	// NodeFailed: the harness crashed Node.
+	NodeFailed
+	// Custom: free-form annotation in Note.
+	Custom
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case MsgDelivered:
+		return "deliver"
+	case NeighborUp:
+		return "neighbor-up"
+	case NeighborDown:
+		return "neighbor-down"
+	case NodeFailed:
+		return "node-failed"
+	case Custom:
+		return "note"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	Seq  uint64
+	Kind Kind
+	Node id.ID    // the node the event happened at
+	Peer id.ID    // counterparty (sender, neighbor, ...)
+	Msg  msg.Type // message type for MsgDelivered
+	Note string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case MsgDelivered:
+		return fmt.Sprintf("#%d %v<-%v %s", e.Seq, e.Node, e.Peer, e.Msg)
+	case Custom:
+		return fmt.Sprintf("#%d %v note %q", e.Seq, e.Node, e.Note)
+	default:
+		return fmt.Sprintf("#%d %v %s %v", e.Seq, e.Node, e.Kind, e.Peer)
+	}
+}
+
+// Ring is a bounded, concurrency-safe event recorder. When full, the oldest
+// events are overwritten. The zero value is unusable; use NewRing.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // total events ever recorded
+	start int    // index of the oldest event in buf
+	count int
+}
+
+// NewRing returns a recorder holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, stamping its sequence number, and returns it.
+func (r *Ring) Record(ev Event) Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	ev.Seq = r.next
+	i := (r.start + r.count) % len(r.buf)
+	if r.count == len(r.buf) {
+		// Overwrite the oldest.
+		r.buf[r.start] = ev
+		r.start = (r.start + 1) % len(r.buf)
+	} else {
+		r.buf[i] = ev
+		r.count++
+	}
+	return ev
+}
+
+// Deliver records a message delivery; shaped to plug into netsim's Tap.
+func (r *Ring) Deliver(from, to id.ID, m msg.Message) {
+	r.Record(Event{Kind: MsgDelivered, Node: to, Peer: from, Msg: m.Type})
+}
+
+// Note records a free-form annotation at node.
+func (r *Ring) Note(node id.ID, format string, args ...interface{}) {
+	r.Record(Event{Kind: Custom, Node: node, Note: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Total returns the number of events ever recorded (including overwritten).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Filter returns the retained events satisfying keep, oldest first.
+func (r *Ring) Filter(keep func(Event) bool) []Event {
+	all := r.Events()
+	out := all[:0]
+	for _, ev := range all {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// At returns the retained events that happened at node.
+func (r *Ring) At(node id.ID) []Event {
+	return r.Filter(func(ev Event) bool { return ev.Node == node })
+}
+
+// OfKind returns the retained events of the given kind.
+func (r *Ring) OfKind(k Kind) []Event {
+	return r.Filter(func(ev Event) bool { return ev.Kind == k })
+}
+
+// Reset discards all retained events but keeps the sequence counter
+// monotonic.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.start, r.count = 0, 0
+}
+
+// Dump renders all retained events, one per line.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, ev := range r.Events() {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hyparview/internal/core"
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/netsim"
+	"hyparview/internal/peer"
+)
+
+func TestNewRingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestRecordAssignsMonotonicSeq(t *testing.T) {
+	r := NewRing(8)
+	a := r.Record(Event{Kind: Custom, Node: 1})
+	b := r.Record(Event{Kind: Custom, Node: 2})
+	if a.Seq != 1 || b.Seq != 2 {
+		t.Errorf("seqs = %d, %d", a.Seq, b.Seq)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{Kind: Custom, Node: id.ID(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	// Oldest retained must be node 3 (1 and 2 overwritten).
+	if evs[0].Node != 3 || evs[2].Node != 5 {
+		t.Errorf("events = %v", evs)
+	}
+	if r.Total() != 5 || r.Len() != 3 {
+		t.Errorf("Total=%d Len=%d", r.Total(), r.Len())
+	}
+}
+
+func TestFilterAtOfKind(t *testing.T) {
+	r := NewRing(10)
+	r.Record(Event{Kind: NeighborUp, Node: 1, Peer: 2})
+	r.Record(Event{Kind: NeighborDown, Node: 1, Peer: 2})
+	r.Record(Event{Kind: NeighborUp, Node: 3, Peer: 1})
+	if got := len(r.At(1)); got != 2 {
+		t.Errorf("At(1) = %d, want 2", got)
+	}
+	if got := len(r.OfKind(NeighborUp)); got != 2 {
+		t.Errorf("OfKind(up) = %d, want 2", got)
+	}
+}
+
+func TestResetKeepsSeqMonotonic(t *testing.T) {
+	r := NewRing(4)
+	r.Record(Event{Kind: Custom})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	ev := r.Record(Event{Kind: Custom})
+	if ev.Seq != 2 {
+		t.Errorf("seq after reset = %d, want 2", ev.Seq)
+	}
+}
+
+func TestNoteAndDumpFormatting(t *testing.T) {
+	r := NewRing(4)
+	r.Note(7, "hello %d", 42)
+	r.Deliver(1, 2, msg.Message{Type: msg.Join})
+	dump := r.Dump()
+	if !strings.Contains(dump, `hello 42`) || !strings.Contains(dump, "JOIN") {
+		t.Errorf("Dump = %q", dump)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		MsgDelivered: "deliver", NeighborUp: "neighbor-up",
+		NeighborDown: "neighbor-down", NodeFailed: "node-failed",
+		Custom: "note", Kind(77): "Kind(77)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestConcurrentRecordSafe(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Kind: Custom})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Errorf("Total = %d, want 800", r.Total())
+	}
+}
+
+// TestTraceJoinFlow wires the ring into the simulator's tap and asserts the
+// canonical join message flow: a JOIN delivered at the contact, followed by
+// FORWARDJOIN walks.
+func TestTraceJoinFlow(t *testing.T) {
+	ring := NewRing(1 << 12)
+	s := netsim.New(1)
+	s.Tap = ring.Deliver
+
+	nodes := make(map[id.ID]*core.Node)
+	for i := 1; i <= 12; i++ {
+		nodeID := id.ID(i)
+		var nd *core.Node
+		s.Add(nodeID, func(env peer.Env) peer.Process {
+			nd = core.New(env, core.Config{})
+			return nd
+		})
+		nodes[nodeID] = nd
+		if i > 1 {
+			if err := nd.Join(1); err != nil {
+				t.Fatal(err)
+			}
+			s.Drain()
+		}
+	}
+	joins := ring.Filter(func(ev Event) bool {
+		return ev.Kind == MsgDelivered && ev.Msg == msg.Join
+	})
+	if len(joins) != 11 {
+		t.Fatalf("JOIN deliveries = %d, want 11", len(joins))
+	}
+	for _, ev := range joins {
+		if ev.Node != 1 {
+			t.Errorf("JOIN delivered at %v, want contact n1", ev.Node)
+		}
+	}
+	fwds := ring.Filter(func(ev Event) bool {
+		return ev.Kind == MsgDelivered && ev.Msg == msg.ForwardJoin
+	})
+	if len(fwds) == 0 {
+		t.Error("no FORWARDJOIN walks observed")
+	}
+	// The trace must interleave correctly: the first FORWARDJOIN comes
+	// after the first JOIN.
+	if fwds[0].Seq < joins[0].Seq {
+		t.Error("FORWARDJOIN observed before any JOIN")
+	}
+}

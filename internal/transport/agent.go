@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hyparview/internal/core"
+	"hyparview/internal/gossip"
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+	"hyparview/internal/rng"
+)
+
+// AgentConfig configures a TCP-hosted HyParView node.
+type AgentConfig struct {
+	// Core carries the HyParView parameters (zero fields take the paper's
+	// defaults).
+	Core core.Config
+	// CyclePeriod is the shuffle period (ΔT). Zero disables automatic
+	// cycles; Cycle can then be driven manually (useful in tests).
+	CyclePeriod time.Duration
+	// Transport tunes dial/write timeouts.
+	Transport Config
+	// Seed drives the node's deterministic randomness; zero derives a seed
+	// from the bound address.
+	Seed uint64
+	// OnDeliver is invoked (from the agent goroutine) once per delivered
+	// broadcast. May be nil.
+	OnDeliver func(payload []byte)
+	// OnNeighborUp is invoked (from the agent goroutine) when a peer enters
+	// the active view. May be nil.
+	OnNeighborUp func(peerID id.ID)
+	// OnNeighborDown is invoked (from the agent goroutine) when a peer
+	// leaves the active view. May be nil.
+	OnNeighborDown func(peerID id.ID, reason core.DownReason)
+}
+
+// agentEnv adapts Transport to peer.Env for the protocol goroutine.
+type agentEnv struct {
+	t *Transport
+	r *rng.Rand
+}
+
+var _ peer.Env = (*agentEnv)(nil)
+
+func (e *agentEnv) Self() id.ID                       { return e.t.Self() }
+func (e *agentEnv) Send(d id.ID, m msg.Message) error { return e.t.Send(d, m) }
+func (e *agentEnv) Probe(d id.ID) error               { return e.t.Probe(d) }
+func (e *agentEnv) Watch(d id.ID)                     { e.t.Watch(d) }
+func (e *agentEnv) Unwatch(d id.ID)                   { e.t.Unwatch(d) }
+func (e *agentEnv) Rand() *rng.Rand                   { return e.r }
+
+// Agent runs one HyParView node over real TCP. The protocol state machine is
+// single-threaded: every network delivery, peer-down notification, timer
+// tick and API call is funneled through one actor goroutine, so the core
+// protocol needs no locking — the same discipline the simulator enforces.
+type Agent struct {
+	tr        *Transport
+	node      *core.Node
+	gnode     *gossip.Node
+	rand      *rng.Rand
+	inbox     chan func()
+	stop      chan struct{}
+	done      chan struct{}
+	ticker    *time.Ticker
+	closeOnce sync.Once
+}
+
+// NewAgent binds a listener on listenAddr and starts the actor loop. Close
+// must be called to release the listener and goroutines.
+func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
+	a := &Agent{
+		// The inbox decouples transport reader goroutines from the protocol
+		// actor. It is deliberately bounded: if the actor falls behind,
+		// senders block, TCP backpressure propagates, and remote peers'
+		// write timeouts expel us — precisely the slow-node handling the
+		// paper adopts from NeEM (§5.5).
+		inbox: make(chan func(), 256),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	tr, err := Listen(listenAddr, cfg.Transport,
+		func(from id.ID, m msg.Message) {
+			select {
+			case a.inbox <- func() { a.gnode.Deliver(from, m) }:
+			case <-a.stop:
+			}
+		},
+		func(peerID id.ID) {
+			op := func() { a.gnode.OnPeerDown(peerID) }
+			// This callback can fire on the actor goroutine itself (a Send
+			// that fails drops the connection synchronously); blocking on a
+			// full inbox there would self-deadlock, so fall back to an
+			// asynchronous hand-off that exits with the agent.
+			select {
+			case a.inbox <- op:
+			default:
+				go func() {
+					select {
+					case a.inbox <- op:
+					case <-a.stop:
+					}
+				}()
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	a.tr = tr
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = uint64(tr.Self()) ^ uint64(time.Now().UnixNano())
+	}
+	a.rand = rng.New(seed)
+	env := &agentEnv{t: tr, r: a.rand}
+	a.node = core.New(env, cfg.Core)
+	if cfg.OnNeighborUp != nil || cfg.OnNeighborDown != nil {
+		a.node.SetListener(core.Listener{
+			NeighborUp:   cfg.OnNeighborUp,
+			NeighborDown: cfg.OnNeighborDown,
+		})
+	}
+	gcfg := gossip.Config{Mode: gossip.Flood, ReportPeerDown: true}
+	var deliver gossip.Delivery
+	if cb := cfg.OnDeliver; cb != nil {
+		deliver = func(_ uint64, payload []byte, _ int) { cb(payload) }
+	}
+	a.gnode = gossip.New(env, a.node, gcfg, deliver)
+	if cfg.CyclePeriod > 0 {
+		a.ticker = time.NewTicker(cfg.CyclePeriod)
+	}
+	go a.loop()
+	return a, nil
+}
+
+// loop is the actor goroutine: the only place protocol state is touched.
+func (a *Agent) loop() {
+	defer close(a.done)
+	var tick <-chan time.Time
+	if a.ticker != nil {
+		tick = a.ticker.C
+	}
+	for {
+		select {
+		case op := <-a.inbox:
+			op()
+		case <-tick:
+			a.gnode.OnCycle()
+		case <-a.stop:
+			return
+		}
+	}
+}
+
+// call runs op on the actor goroutine and waits for completion.
+func (a *Agent) call(op func()) error {
+	donech := make(chan struct{})
+	select {
+	case a.inbox <- func() { op(); close(donech) }:
+	case <-a.stop:
+		return ErrClosed
+	}
+	select {
+	case <-donech:
+		return nil
+	case <-a.stop:
+		return ErrClosed
+	}
+}
+
+// Self returns the agent's node identifier.
+func (a *Agent) Self() id.ID { return a.tr.Self() }
+
+// Addr returns the agent's listen address.
+func (a *Agent) Addr() string { return a.tr.Addr() }
+
+// Join connects to the overlay through the node listening at contactAddr.
+func (a *Agent) Join(contactAddr string) error {
+	contact := a.tr.Register(contactAddr)
+	var joinErr error
+	if err := a.call(func() { joinErr = a.node.Join(contact) }); err != nil {
+		return err
+	}
+	if joinErr != nil {
+		return fmt.Errorf("join via %s: %w", contactAddr, joinErr)
+	}
+	return nil
+}
+
+// Register makes addr dialable and returns its derived identifier.
+func (a *Agent) Register(addr string) id.ID { return a.tr.Register(addr) }
+
+// Broadcast floods payload over the overlay. The round identifier is drawn
+// from the node's random stream; collisions across 64 bits are negligible.
+func (a *Agent) Broadcast(payload []byte) error {
+	return a.call(func() { a.gnode.Broadcast(a.rand.Uint64(), payload) })
+}
+
+// Cycle triggers one membership cycle synchronously (manual ΔT driving).
+func (a *Agent) Cycle() error {
+	return a.call(func() { a.gnode.OnCycle() })
+}
+
+// ActiveView returns a snapshot of the active view.
+func (a *Agent) ActiveView() []id.ID {
+	var out []id.ID
+	_ = a.call(func() { out = a.node.Active() })
+	return out
+}
+
+// PassiveView returns a snapshot of the passive view.
+func (a *Agent) PassiveView() []id.ID {
+	var out []id.ID
+	_ = a.call(func() { out = a.node.Passive() })
+	return out
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (a *Agent) Stats() core.Stats {
+	var out core.Stats
+	_ = a.call(func() { out = a.node.Stats() })
+	return out
+}
+
+// Close stops the actor loop and the transport, waiting for all goroutines.
+// It is idempotent and safe for concurrent use.
+func (a *Agent) Close() error {
+	var err error
+	a.closeOnce.Do(func() {
+		close(a.stop)
+		<-a.done
+		if a.ticker != nil {
+			a.ticker.Stop()
+		}
+		err = a.tr.Close()
+	})
+	return err
+}

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+)
+
+// BenchmarkSendLoopback measures one framed message over a cached TCP
+// connection on loopback (the transport's hot path).
+func BenchmarkSendLoopback(b *testing.B) {
+	var received atomic.Int64
+	sink, err := Listen("127.0.0.1:0", Config{},
+		func(id.ID, msg.Message) { received.Add(1) }, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	src, err := Listen("127.0.0.1:0", Config{}, func(id.ID, msg.Message) {}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+
+	dst := src.Register(sink.Addr())
+	m := msg.Message{Type: msg.Gossip, Sender: src.Self(), Round: 1, Payload: make([]byte, 256)}
+	b.SetBytes(int64(msg.EncodedSize(m)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send(dst, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Drain so the next benchmark starts clean.
+	deadline := time.Now().Add(10 * time.Second)
+	for received.Load() < int64(b.N) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkAgentBroadcastLoopback measures an end-to-end flood across 8 real
+// TCP agents on loopback, timer stopped until every agent delivered.
+func BenchmarkAgentBroadcastLoopback(b *testing.B) {
+	const n = 8
+	var delivered atomic.Int64
+	agents := make([]*Agent, 0, n)
+	defer func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		a, err := NewAgent("127.0.0.1:0", AgentConfig{
+			OnDeliver: func([]byte) { delivered.Add(1) },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agents = append(agents, a)
+	}
+	for _, a := range agents[1:] {
+		if err := a.Join(agents[0].Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Wait for the overlay to settle.
+	time.Sleep(300 * time.Millisecond)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := delivered.Load() + n
+		if err := agents[i%n].Broadcast(payload); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for delivered.Load() < want && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		if delivered.Load() < want {
+			b.Fatalf("broadcast %d incomplete: %d/%d", i, delivered.Load()-(want-int64(n)), n)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAgentSmoke(t *testing.T) {
+	var delivered atomic.Int64
+	mk := func() *Agent {
+		a, err := NewAgent("127.0.0.1:0", AgentConfig{
+			OnDeliver: func([]byte) { delivered.Add(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	agents := make([]*Agent, 8)
+	for i := range agents {
+		agents[i] = mk()
+	}
+	defer func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}()
+	for i := 1; i < len(agents); i++ {
+		if err := agents[i].Join(agents[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := agents[3].Broadcast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for delivered.Load() < 8 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := delivered.Load(); got != 8 {
+		t.Fatalf("delivered=%d want 8", got)
+	}
+}

@@ -1,0 +1,384 @@
+// Package transport implements the real-network counterpart of the
+// simulator: length-prefixed binary framing of msg.Message over TCP, a
+// cached-connection sender whose failures surface as peer.ErrPeerDown, and
+// watch-based connection-breakage notifications.
+//
+// The paper's architecture (§1, §4) assumes exactly this substrate: gossip
+// over TCP so that omissions need not be masked by redundancy, and TCP
+// doubling as the failure detector. The HyParView authors deferred a real
+// deployment to future work (PlanetLab, §6); this package provides it.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+)
+
+// Frame format: 4-byte big-endian payload length followed by the msg codec
+// encoding. maxFrame protects against corrupt peers.
+const (
+	lenHeaderSize = 4
+	maxFrame      = 1 << 26
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Config tunes transport behaviour.
+type Config struct {
+	// DialTimeout bounds connection establishment (default 3s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds a single frame write (default 5s).
+	WriteTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Transport sends and receives protocol messages over TCP. One Transport
+// serves one node. All exported methods are safe for concurrent use.
+type Transport struct {
+	self id.ID
+	addr string
+	cfg  Config
+	book *id.Book
+	ln   net.Listener
+
+	onMessage  func(from id.ID, m msg.Message)
+	onPeerDown func(peerID id.ID)
+
+	mu      sync.Mutex
+	conns   map[id.ID]*outConn
+	inbound map[net.Conn]struct{}
+	watched map[id.ID]bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// outConn is a cached outbound connection with a reader goroutine that
+// detects resets.
+type outConn struct {
+	c  net.Conn
+	wm sync.Mutex // serializes frame writes
+}
+
+// Listen opens a listener on addr ("host:port", ":0" for ephemeral) and
+// returns a transport whose identity is derived from the bound address.
+// onMessage is invoked from reader goroutines — implementations must be
+// concurrency-safe or hand off to a single consumer (see Agent). onPeerDown
+// (may be nil) is invoked when a watched peer's connection breaks.
+func Listen(addr string, cfg Config, onMessage func(id.ID, msg.Message), onPeerDown func(id.ID)) (*Transport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport listen %s: %w", addr, err)
+	}
+	bound := ln.Addr().String()
+	t := &Transport{
+		self:       id.FromAddr(bound),
+		addr:       bound,
+		cfg:        cfg.withDefaults(),
+		book:       id.NewBook(),
+		ln:         ln,
+		onMessage:  onMessage,
+		onPeerDown: onPeerDown,
+		conns:      make(map[id.ID]*outConn),
+		inbound:    make(map[net.Conn]struct{}),
+		watched:    make(map[id.ID]bool),
+	}
+	t.book.Put(t.self, bound)
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Self returns the transport's node identifier.
+func (t *Transport) Self() id.ID { return t.self }
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() string { return t.addr }
+
+// Register adds a (node, addr) mapping so the node becomes dialable. It
+// returns the derived identifier for convenience.
+func (t *Transport) Register(addr string) id.ID {
+	node := id.FromAddr(addr)
+	t.book.Put(node, addr)
+	return node
+}
+
+// Book exposes the address book (shared with the hosting agent).
+func (t *Transport) Book() *id.Book { return t.book }
+
+// Send delivers m to dst over a cached or freshly dialed connection. A
+// failure to dial or write is reported as peer.ErrPeerDown after the cached
+// connection is discarded.
+func (t *Transport) Send(dst id.ID, m msg.Message) error {
+	oc, err := t.conn(dst)
+	if err != nil {
+		return err
+	}
+	m.Directory = t.directoryFor(m)
+	frame := make([]byte, lenHeaderSize, lenHeaderSize+msg.EncodedSize(m))
+	frame = msg.AppendEncode(frame, m)
+	binary.BigEndian.PutUint32(frame[:lenHeaderSize], uint32(len(frame)-lenHeaderSize))
+
+	oc.wm.Lock()
+	defer oc.wm.Unlock()
+	if err := oc.c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)); err == nil {
+		if _, err = oc.c.Write(frame); err == nil {
+			return nil
+		}
+	}
+	t.dropConn(dst, oc)
+	return fmt.Errorf("send %v: %w", dst, peer.ErrPeerDown)
+}
+
+// Probe attempts to establish (or reuse) a connection to dst without sending
+// anything, mirroring the paper's connection test before a NEIGHBOR request.
+func (t *Transport) Probe(dst id.ID) error {
+	_, err := t.conn(dst)
+	return err
+}
+
+// Watch marks dst so that a broken connection to it triggers onPeerDown.
+// An active-view link is an open TCP connection in the paper's architecture
+// (§4.1), so Watch also ensures one exists: it dials asynchronously if
+// needed, and a failed dial reports the peer as down immediately.
+func (t *Transport) Watch(dst id.ID) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.watched[dst] = true
+	_, connected := t.conns[dst]
+	t.mu.Unlock()
+	if connected {
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		if _, err := t.conn(dst); err != nil {
+			t.mu.Lock()
+			fire := t.watched[dst] && !t.closed
+			if fire {
+				delete(t.watched, dst)
+			}
+			cb := t.onPeerDown
+			t.mu.Unlock()
+			if fire && cb != nil {
+				cb(dst)
+			}
+		}
+	}()
+}
+
+// Unwatch cancels Watch.
+func (t *Transport) Unwatch(dst id.ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.watched, dst)
+}
+
+// directoryFor builds the (id, addr) side table for every identifier m
+// references, so receivers can dial nodes they just learned about. The
+// paper's identifiers are (ip, port) tuples; this reconstructs that property
+// over our compact IDs.
+func (t *Transport) directoryFor(m msg.Message) []msg.DirEntry {
+	refs := m.ReferencedIDs()
+	dir := make([]msg.DirEntry, 0, len(refs))
+	seen := make(map[id.ID]bool, len(refs))
+	for _, n := range refs {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if addr, ok := t.book.Addr(n); ok {
+			dir = append(dir, msg.DirEntry{Node: n, Addr: addr})
+		}
+	}
+	return dir
+}
+
+// conn returns a cached connection to dst, dialing on demand.
+func (t *Transport) conn(dst id.ID) (*outConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if oc, ok := t.conns[dst]; ok {
+		t.mu.Unlock()
+		return oc, nil
+	}
+	addr, ok := t.book.Addr(dst)
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dial %v: unknown address: %w", dst, peer.ErrPeerDown)
+	}
+
+	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %v (%s): %w", dst, addr, peer.ErrPeerDown)
+	}
+	oc := &outConn{c: c}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[dst]; ok {
+		// Lost a dial race; keep the existing connection.
+		t.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[dst] = oc
+	t.mu.Unlock()
+
+	// The reader goroutine turns the remote's messages on this connection
+	// into deliveries and, crucially, detects connection breakage: that is
+	// the TCP failure detector.
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.readLoop(oc.c)
+		t.dropConn(dst, oc)
+	}()
+	return oc, nil
+}
+
+// dropConn closes and forgets a cached connection and fires the peer-down
+// notification when the peer was watched.
+func (t *Transport) dropConn(dst id.ID, oc *outConn) {
+	t.mu.Lock()
+	watched := false
+	if t.conns[dst] == oc {
+		delete(t.conns, dst)
+		watched = t.watched[dst] && !t.closed
+		if watched {
+			delete(t.watched, dst)
+		}
+	}
+	cb := t.onPeerDown
+	t.mu.Unlock()
+	_ = oc.c.Close()
+	if watched && cb != nil {
+		cb(dst)
+	}
+}
+
+// acceptLoop serves inbound connections.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		t.inbound[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.readLoop(c)
+			t.mu.Lock()
+			delete(t.inbound, c)
+			t.mu.Unlock()
+			_ = c.Close()
+		}()
+	}
+}
+
+// readLoop decodes frames from c and dispatches them until the connection
+// errors or the transport closes.
+func (t *Transport) readLoop(c net.Conn) {
+	var lenBuf [lenHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		m, _, err := msg.Decode(buf)
+		if err != nil {
+			return // corrupt peer; drop the connection
+		}
+		// Absorb the address side table before dispatching so the protocol
+		// can immediately act on any identifier the message mentions.
+		for _, d := range m.Directory {
+			if d.Node != t.self && d.Addr != "" {
+				t.book.Put(d.Node, d.Addr)
+			}
+		}
+		if t.isClosed() {
+			return
+		}
+		t.onMessage(m.Sender, m)
+	}
+}
+
+func (t *Transport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// Close shuts the listener and all connections down and waits for every
+// transport goroutine to exit.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
+	for _, oc := range t.conns {
+		conns = append(conns, oc.c)
+	}
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[id.ID]*outConn)
+	t.inbound = make(map[net.Conn]struct{})
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,57 @@
+package view
+
+import (
+	"testing"
+
+	"hyparview/internal/id"
+	"hyparview/internal/rng"
+)
+
+// The view is the protocol's hottest data structure: every shuffle samples
+// it, every broadcast iterates it.
+
+func benchView(n int) *View {
+	v := New(n)
+	for i := 1; i <= n; i++ {
+		v.Add(id.ID(i))
+	}
+	return v
+}
+
+func BenchmarkAddRemove(b *testing.B) {
+	v := New(30)
+	for i := 1; i < 30; i++ {
+		v.Add(id.ID(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Add(9999)
+		v.Remove(9999)
+	}
+}
+
+func BenchmarkSamplePassive(b *testing.B) {
+	v := benchView(30) // passive view size
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Sample(r, 4) // kp
+	}
+}
+
+func BenchmarkRandomExcept(b *testing.B) {
+	v := benchView(5) // active view size
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.RandomExcept(r, 3)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	v := benchView(30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Contains(id.ID(i%40 + 1))
+	}
+}

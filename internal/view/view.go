@@ -1,0 +1,179 @@
+// Package view implements the bounded partial-view containers used by the
+// membership protocols.
+//
+// A View is a set of node identifiers with a fixed capacity, O(1) membership
+// tests, O(1) uniform random selection and O(1) removal — the operations the
+// HyParView pseudo-code (paper Algorithm 1) performs on both the active and
+// the passive view.
+package view
+
+import (
+	"hyparview/internal/id"
+	"hyparview/internal/rng"
+)
+
+// View is a bounded set of node identifiers. The zero value is unusable; use
+// New. View is not safe for concurrent use: each protocol instance owns its
+// views and the simulator serializes deliveries per node.
+type View struct {
+	cap   int
+	order []id.ID
+	index map[id.ID]int
+}
+
+// New returns an empty view with the given capacity. Capacity must be
+// positive.
+func New(capacity int) *View {
+	if capacity <= 0 {
+		panic("view: capacity must be positive")
+	}
+	return &View{
+		cap:   capacity,
+		order: make([]id.ID, 0, capacity),
+		index: make(map[id.ID]int, capacity),
+	}
+}
+
+// Cap returns the view's capacity.
+func (v *View) Cap() int { return v.cap }
+
+// Len returns the number of identifiers currently in the view.
+func (v *View) Len() int { return len(v.order) }
+
+// Full reports whether the view is at capacity.
+func (v *View) Full() bool { return len(v.order) >= v.cap }
+
+// Empty reports whether the view has no members.
+func (v *View) Empty() bool { return len(v.order) == 0 }
+
+// Contains reports whether node is in the view.
+func (v *View) Contains(node id.ID) bool {
+	_, ok := v.index[node]
+	return ok
+}
+
+// Add inserts node and reports whether it was inserted. Adding a present
+// identifier or adding to a full view is a no-op returning false; callers
+// that need eviction semantics must free a slot first (see RemoveRandom).
+func (v *View) Add(node id.ID) bool {
+	if node.IsNil() {
+		return false
+	}
+	if _, ok := v.index[node]; ok {
+		return false
+	}
+	if v.Full() {
+		return false
+	}
+	v.index[node] = len(v.order)
+	v.order = append(v.order, node)
+	return true
+}
+
+// Remove deletes node and reports whether it was present.
+func (v *View) Remove(node id.ID) bool {
+	i, ok := v.index[node]
+	if !ok {
+		return false
+	}
+	last := len(v.order) - 1
+	moved := v.order[last]
+	v.order[i] = moved
+	v.index[moved] = i
+	v.order = v.order[:last]
+	delete(v.index, node)
+	return true
+}
+
+// RemoveRandom deletes a uniformly random member and returns it; it returns
+// (Nil, false) when the view is empty.
+func (v *View) RemoveRandom(r *rng.Rand) (id.ID, bool) {
+	if len(v.order) == 0 {
+		return id.Nil, false
+	}
+	node := v.order[r.Intn(len(v.order))]
+	v.Remove(node)
+	return node, true
+}
+
+// Random returns a uniformly random member without removing it; it returns
+// (Nil, false) when the view is empty.
+func (v *View) Random(r *rng.Rand) (id.ID, bool) {
+	if len(v.order) == 0 {
+		return id.Nil, false
+	}
+	return v.order[r.Intn(len(v.order))], true
+}
+
+// RandomExcept returns a uniformly random member different from excluded; it
+// returns (Nil, false) when no such member exists.
+func (v *View) RandomExcept(r *rng.Rand, excluded id.ID) (id.ID, bool) {
+	n := len(v.order)
+	if n == 0 {
+		return id.Nil, false
+	}
+	if _, present := v.index[excluded]; !present {
+		return v.order[r.Intn(n)], true
+	}
+	if n == 1 {
+		return id.Nil, false
+	}
+	// Choose uniformly among the n-1 members that are not excluded.
+	i := r.Intn(n - 1)
+	if v.order[i] == excluded {
+		i = n - 1
+	}
+	return v.order[i], true
+}
+
+// Sample returns up to n distinct members chosen uniformly at random. The
+// returned slice is freshly allocated.
+func (v *View) Sample(r *rng.Rand, n int) []id.ID {
+	if n <= 0 || len(v.order) == 0 {
+		return nil
+	}
+	if n >= len(v.order) {
+		out := make([]id.ID, len(v.order))
+		copy(out, v.order)
+		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	// Partial Fisher-Yates over a copy keeps the view's internal order
+	// untouched (the index map relies on it).
+	tmp := make([]id.ID, len(v.order))
+	copy(tmp, v.order)
+	out := make([]id.ID, n)
+	for i := 0; i < n; i++ {
+		j := i + r.Intn(len(tmp)-i)
+		tmp[i], tmp[j] = tmp[j], tmp[i]
+		out[i] = tmp[i]
+	}
+	return out
+}
+
+// Members returns a copy of the current membership in insertion-ish order
+// (removal swaps elements, so the order is arbitrary but deterministic).
+func (v *View) Members() []id.ID {
+	out := make([]id.ID, len(v.order))
+	copy(out, v.order)
+	return out
+}
+
+// ForEach calls fn for every member. fn must not mutate the view.
+func (v *View) ForEach(fn func(id.ID)) {
+	for _, n := range v.order {
+		fn(n)
+	}
+}
+
+// At returns the i-th member in internal order; it is intended for tests and
+// metrics that iterate without allocating.
+func (v *View) At(i int) id.ID { return v.order[i] }
+
+// Clear removes all members.
+func (v *View) Clear() {
+	v.order = v.order[:0]
+	for k := range v.index {
+		delete(v.index, k)
+	}
+}
