@@ -9,7 +9,9 @@
 // Experiments: fig1 (fanout×reliability, Cyclon+Scamp), fig1c (50% failure
 // burst), fig2 (mean reliability vs failure %), fig3 (per-message recovery
 // series), fig4 (healing time in cycles), table1 (graph properties), fig5
-// (in-degree distribution), all.
+// (in-degree distribution), plumtree (flood vs epidemic broadcast trees;
+// also part of -exp extensions), all. The -broadcast=plumtree flag switches
+// any experiment's broadcast layer from flood/fanout gossip to Plumtree.
 package main
 
 import (
@@ -35,17 +37,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hpv-sim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|all")
-		n      = fs.Int("n", 10000, "cluster size (paper: 10000)")
-		seed   = fs.Uint64("seed", 1, "base random seed")
-		msgs   = fs.Int("msgs", 1000, "messages per burst for fig2 (paper: 1000)")
-		fig3M  = fs.Int("fig3msgs", 100, "messages per series for fig3/fig1c")
-		cycles = fs.Int("stabilize", 50, "stabilization cycles (paper: 50)")
-		fanout = fs.Int("fanout", 4, "gossip fanout for Cyclon/Scamp (paper: 4)")
-		pcts   = fs.String("pcts", "", "comma-separated failure percentages (default per experiment)")
-		asp    = fs.Int("asp-samples", 200, "BFS sources for avg shortest path (0 = exact)")
-		runs   = fs.Int("runs", 1, "independent seeded runs to aggregate for fig2/fig4")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		exp       = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|plumtree|all")
+		n         = fs.Int("n", 10000, "cluster size (paper: 10000)")
+		seed      = fs.Uint64("seed", 1, "base random seed")
+		msgs      = fs.Int("msgs", 1000, "messages per burst for fig2 (paper: 1000)")
+		fig3M     = fs.Int("fig3msgs", 100, "messages per series for fig3/fig1c")
+		cycles    = fs.Int("stabilize", 50, "stabilization cycles (paper: 50)")
+		fanout    = fs.Int("fanout", 4, "gossip fanout for Cyclon/Scamp (paper: 4)")
+		broadcast = fs.String("broadcast", "gossip", "broadcast layer: gossip (flood/fanout) or plumtree")
+		pcts      = fs.String("pcts", "", "comma-separated failure percentages (default per experiment)")
+		asp       = fs.Int("asp-samples", 200, "BFS sources for avg shortest path (0 = exact)")
+		runs      = fs.Int("runs", 1, "independent seeded runs to aggregate for fig2/fig4")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,14 @@ func run(args []string, out io.Writer) error {
 		Seed:                *seed,
 		Fanout:              *fanout,
 		StabilizationCycles: *cycles,
+	}
+	switch *broadcast {
+	case "gossip", "flood":
+		opts.Broadcast = sim.BroadcastGossip
+	case "plumtree":
+		opts.Broadcast = sim.BroadcastPlumtree
+	default:
+		return fmt.Errorf("unknown broadcast layer %q (want gossip or plumtree)", *broadcast)
 	}
 	emit := func(t *metrics.Table) {
 		if *csv {
@@ -100,6 +111,13 @@ func run(args []string, out io.Writer) error {
 			emit(t)
 		case "fig5":
 			emit(sim.Fig5InDegree(opts))
+		case "plumtree":
+			// Flood vs Plumtree over the same HyParView overlay: reliability,
+			// relative message redundancy and hop count, with and without
+			// mass failures (SRDS 2007 companion paper).
+			levels := parsePcts(*pcts, []int{10, 30, 50})
+			_, t := sim.FloodVsPlumtree(opts, 20, *fig3M, levels)
+			emit(t)
 		case "overhead":
 			// Extension: the paper's §6 PlanetLab packet-overhead question.
 			_, t := sim.Overhead(opts, 10, 50)
@@ -132,7 +150,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	if *exp == "extensions" {
-		for _, name := range []string{"overhead", "churn", "passive", "hetero", "partition"} {
+		for _, name := range []string{"overhead", "churn", "passive", "hetero", "partition", "plumtree"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -71,6 +71,37 @@ func TestRunCustomPcts(t *testing.T) {
 	}
 }
 
+func TestRunPlumtreeExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "plumtree", "-n", "150", "-stabilize", "10", "-fig3msgs", "5", "-pcts", "30",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"FloodVsPlumtree", "gossip", "plumtree", "rmr"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestRunBroadcastFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "fig5", "-n", "120", "-stabilize", "5", "-broadcast", "plumtree",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("plumtree-broadcast run produced no output")
+	}
+	if err := run([]string{"-broadcast", "bongo"}, &out); err == nil {
+		t.Error("unknown broadcast layer accepted")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-exp", "nope"}, &out); err == nil {

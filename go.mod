@@ -1,0 +1,3 @@
+module hyparview
+
+go 1.24

@@ -2,8 +2,9 @@
 // protocol for reliable gossip-based broadcast (Leitão, Pereira, Rodrigues —
 // DSN 2007 / DI-FCUL TR-07-13), together with everything its evaluation
 // needs: a deterministic protocol simulator, the Cyclon, CyclonAcked and
-// SCAMP baselines, a flood/fanout gossip broadcast layer, overlay graph
-// analysis, and a real TCP transport.
+// SCAMP baselines, a flood/fanout gossip broadcast layer, the authors'
+// companion Plumtree broadcast trees (SRDS 2007), overlay graph analysis,
+// and a real TCP transport.
 //
 // # Quick start (real TCP)
 //
@@ -13,11 +14,25 @@
 //	})
 //	// ... a.Join(contactAddr), a.Broadcast([]byte("hello")), a.Close()
 //
-// # Quick start (simulation)
+// # Quick start (simulation, flood broadcast)
 //
 //	c := hyparview.NewCluster(hyparview.ProtoHyParView, hyparview.ClusterOptions{N: 1000})
 //	c.Stabilize(50)
 //	fmt.Println(c.Broadcast()) // => 1 (reliability of one flood)
+//
+// # Quick start (simulation, Plumtree broadcast trees)
+//
+// Plumtree replaces flooding's redundant payload pushes with lazy IHAVE
+// announcements and a self-healing spanning tree, cutting the relative
+// message redundancy (RMR) to nearly zero at equal reliability:
+//
+//	c := hyparview.NewCluster(hyparview.ProtoHyParView, hyparview.ClusterOptions{
+//		N:         1000,
+//		Broadcast: hyparview.BroadcastPlumtree,
+//	})
+//	c.Stabilize(50)
+//	c.BroadcastBurst(20)             // let pruning carve the broadcast tree
+//	fmt.Println(c.MeasureBurst(100)) // reliability 1.0 at RMR ≈ 0
 //
 // The facade below re-exports the library's building blocks; the
 // implementation lives in internal/ packages (one per subsystem — see
@@ -29,6 +44,7 @@ import (
 	"hyparview/internal/cyclon"
 	"hyparview/internal/gossip"
 	"hyparview/internal/id"
+	"hyparview/internal/plumtree"
 	"hyparview/internal/scamp"
 	"hyparview/internal/sim"
 	"hyparview/internal/transport"
@@ -119,3 +135,24 @@ const (
 	// GossipFanout forwards to a fixed number of random view members.
 	GossipFanout = gossip.Fanout
 )
+
+// BroadcastProtocol selects a simulated cluster's broadcast layer.
+type BroadcastProtocol = sim.BroadcastProtocol
+
+// The two broadcast layers.
+const (
+	// BroadcastGossip is the paper's evaluation broadcast: flooding for
+	// HyParView, random fanout for the peer-sampling protocols.
+	BroadcastGossip = sim.BroadcastGossip
+	// BroadcastPlumtree runs the Plumtree epidemic broadcast tree protocol
+	// (eager push on tree links, lazy IHAVE announcements elsewhere, GRAFT/
+	// PRUNE tree repair) over the membership protocol.
+	BroadcastPlumtree = sim.BroadcastPlumtree
+)
+
+// PlumtreeConfig carries the Plumtree broadcast layer's parameters.
+type PlumtreeConfig = plumtree.Config
+
+// Broadcaster is the contract both broadcast layers satisfy (flood/fanout
+// gossip and Plumtree); Cluster.Gossiper returns one.
+type Broadcaster = gossip.Broadcaster

@@ -64,6 +64,37 @@ type Config struct {
 // broadcast.
 type Delivery func(round uint64, payload []byte, hops int)
 
+// Broadcaster is the contract every broadcast-layer node satisfies: the
+// flood/fanout Node in this package and the tree-based node in
+// internal/plumtree. The experiment harness builds clusters against this
+// interface so the broadcast protocol is a per-cluster switch, and the shared
+// Counters accounting is what feeds the RMR (relative message redundancy)
+// metric in internal/metrics.
+type Broadcaster interface {
+	peer.Process
+	peer.FailureObserver
+
+	// Broadcast emits a new message with a round identifier unique per
+	// message (provided by the Tracker or an application counter).
+	Broadcast(round uint64, payload []byte)
+
+	// Counters returns the node's payload accounting: locally delivered
+	// messages (first copies, including the node's own broadcasts),
+	// redundant payload receptions, successful payload forwards, and sends
+	// rejected with peer.ErrPeerDown.
+	Counters() (delivered, duplicates, forwarded, sendFails uint64)
+
+	// Seen reports whether the node has delivered round.
+	Seen(round uint64) bool
+
+	// ResetSeen clears the delivered-message state to bound memory in long
+	// experiments.
+	ResetSeen()
+
+	// Membership returns the wrapped membership protocol.
+	Membership() peer.Membership
+}
+
 // Node wires a membership protocol instance to the broadcast layer. It
 // implements peer.Process: broadcast traffic is consumed here, everything
 // else is handed to the membership protocol.
@@ -81,7 +112,7 @@ type Node struct {
 	sendFails  uint64
 }
 
-var _ peer.Process = (*Node)(nil)
+var _ Broadcaster = (*Node)(nil)
 
 // New builds a gossip node over membership. onDeliver may be nil.
 func New(env peer.Env, membership peer.Membership, cfg Config, onDeliver Delivery) *Node {

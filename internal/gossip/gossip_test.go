@@ -206,6 +206,43 @@ func TestResetSeenAllowsRedelivery(t *testing.T) {
 	}
 }
 
+func TestOnPeerDownUnknownPeerForwarded(t *testing.T) {
+	// The gossip layer is a pure pass-through for failure notifications: a
+	// peer it never sent to (or that is not in the view at all) still
+	// reaches the membership protocol, which owns the decision.
+	env := newFakeEnv(1)
+	mem := &fakeMembership{neighbors: []id.ID{2}}
+	n := New(env, mem, Config{Mode: Flood}, nil)
+	n.OnPeerDown(42)
+	n.OnPeerDown(42) // repeated notification is forwarded again, not deduped
+	if len(mem.downs) != 2 || mem.downs[0] != 42 || mem.downs[1] != 42 {
+		t.Errorf("downs = %v, want [n42 n42]", mem.downs)
+	}
+}
+
+func TestResetSeenRedeliveryCountsAgain(t *testing.T) {
+	env := newFakeEnv(1)
+	mem := &fakeMembership{neighbors: []id.ID{2}}
+	var deliveries int
+	n := New(env, mem, Config{Mode: Flood}, func(uint64, []byte, int) { deliveries++ })
+	g := msg.Message{Type: msg.Gossip, Sender: 2, Round: 3}
+	n.Deliver(2, g)
+	n.Deliver(2, g)
+	d, dup, _, _ := n.Counters()
+	if d != 1 || dup != 1 || deliveries != 1 {
+		t.Fatalf("before reset: delivered=%d dup=%d callbacks=%d", d, dup, deliveries)
+	}
+	// ResetSeen trades exactly-once delivery for bounded memory: a round
+	// redelivered afterwards counts (and is forwarded) as new. Experiments
+	// must only reset between bursts, which this behavior makes observable.
+	n.ResetSeen()
+	n.Deliver(2, g)
+	d, dup, _, _ = n.Counters()
+	if d != 2 || dup != 1 || deliveries != 2 {
+		t.Errorf("after reset: delivered=%d dup=%d callbacks=%d, want 2 1 2", d, dup, deliveries)
+	}
+}
+
 func TestTracker(t *testing.T) {
 	tr := NewTracker()
 	r1 := tr.NextRound()

@@ -92,6 +92,21 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// RMR computes the relative message redundancy of a broadcast (Plumtree
+// paper, §4.1): RMR = m/(n-1) - 1, where m is the number of payload messages
+// exchanged over the network during dissemination and n is the number of
+// nodes that delivered the message. Zero means exactly one payload per
+// receiver (a spanning tree); flooding over an overlay of average degree d
+// yields roughly d-2 (each node forwards to its d-1 links beyond the
+// arrival one). The metric is meaningless for fewer than two deliveries,
+// for which 0 is returned.
+func RMR(payloadMsgs, nodesDelivered float64) float64 {
+	if nodesDelivered <= 1 {
+		return 0
+	}
+	return payloadMsgs/(nodesDelivered-1) - 1
+}
+
 // IntHistogram is a frequency table over integer values.
 type IntHistogram map[int]int
 

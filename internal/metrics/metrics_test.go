@@ -42,6 +42,22 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestRMR(t *testing.T) {
+	// A perfect spanning tree: n-1 payload messages reach n nodes.
+	if got := RMR(99, 100); got != 0 {
+		t.Errorf("RMR(99, 100) = %v, want 0 (spanning tree)", got)
+	}
+	// Four payload receptions per receiver beyond the first (a flood over a
+	// degree-5 overlay) is a redundancy of 3.
+	if got := RMR(4*99, 100); got != 3 {
+		t.Errorf("RMR(396, 100) = %v, want 3", got)
+	}
+	// Degenerate populations are defined as 0 rather than dividing by zero.
+	if RMR(5, 1) != 0 || RMR(0, 0) != 0 {
+		t.Error("RMR of <=1 deliveries must be 0")
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose
 	tests := []struct {

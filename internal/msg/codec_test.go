@@ -34,6 +34,10 @@ func sampleMessages() []Message {
 		{Type: Gossip, Sender: 18, Round: 1, Directory: []DirEntry{
 			{Node: 18, Addr: "10.0.0.1:999"}, {Node: 19, Addr: ""},
 		}},
+		{Type: PlumtreeGossip, Sender: 20, Round: 77, Hops: 3, Payload: []byte("tree")},
+		{Type: PlumtreeIHave, Sender: 21, Round: 77, Hops: 3},
+		{Type: PlumtreeGraft, Sender: 22, Round: 77, Accept: true},
+		{Type: PlumtreePrune, Sender: 23},
 	}
 }
 

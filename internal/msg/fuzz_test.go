@@ -14,6 +14,16 @@ func FuzzDecode(f *testing.F) {
 	for _, m := range sampleMessages() {
 		f.Add(Encode(m))
 	}
+	// The Plumtree message set, covering field combinations the protocol
+	// actually emits: an eager payload push, a hop-tagged announcement, the
+	// node's self-addressed timer tick (TTL in an IHAVE), both graft
+	// flavors (with and without a retransmission request), and a prune.
+	f.Add(Encode(Message{Type: PlumtreeGossip, Sender: 1, Round: 9, Hops: 2, Payload: []byte("p")}))
+	f.Add(Encode(Message{Type: PlumtreeIHave, Sender: 2, Round: 9, Hops: 2}))
+	f.Add(Encode(Message{Type: PlumtreeIHave, Sender: 3, Round: 9, TTL: 8}))
+	f.Add(Encode(Message{Type: PlumtreeGraft, Sender: 4, Round: 9, Accept: true}))
+	f.Add(Encode(Message{Type: PlumtreeGraft, Sender: 5, Accept: false}))
+	f.Add(Encode(Message{Type: PlumtreePrune, Sender: 6}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {

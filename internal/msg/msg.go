@@ -42,6 +42,14 @@ const (
 	ScampUnsubscribe
 	ScampHeartbeat
 
+	// Plumtree broadcast layer (Leitão, Pereira, Rodrigues — "Epidemic
+	// Broadcast Trees", SRDS 2007): eager payload push, lazy announcement,
+	// and the two tree-repair control messages.
+	PlumtreeGossip
+	PlumtreeIHave
+	PlumtreeGraft
+	PlumtreePrune
+
 	maxType
 )
 
@@ -63,6 +71,10 @@ var typeNames = [...]string{
 	ScampKept:          "SCAMPKEPT",
 	ScampUnsubscribe:   "SCAMPUNSUBSCRIBE",
 	ScampHeartbeat:     "SCAMPHEARTBEAT",
+	PlumtreeGossip:     "PLUMTREEGOSSIP",
+	PlumtreeIHave:      "PLUMTREEIHAVE",
+	PlumtreeGraft:      "PLUMTREEGRAFT",
+	PlumtreePrune:      "PLUMTREEPRUNE",
 }
 
 // String returns the conventional upper-case name of the message type.

@@ -22,6 +22,10 @@ func TestTypeString(t *testing.T) {
 		{ShuffleReply, "SHUFFLEREPLY"},
 		{Gossip, "GOSSIP"},
 		{ScampHeartbeat, "SCAMPHEARTBEAT"},
+		{PlumtreeGossip, "PLUMTREEGOSSIP"},
+		{PlumtreeIHave, "PLUMTREEIHAVE"},
+		{PlumtreeGraft, "PLUMTREEGRAFT"},
+		{PlumtreePrune, "PLUMTREEPRUNE"},
 		{Type(0), "Type(0)"},
 		{Type(200), "Type(200)"},
 	}
@@ -36,7 +40,7 @@ func TestTypeValid(t *testing.T) {
 	if Type(0).Valid() {
 		t.Error("Type(0) reported valid")
 	}
-	if !Join.Valid() || !ScampHeartbeat.Valid() {
+	if !Join.Valid() || !ScampHeartbeat.Valid() || !PlumtreePrune.Valid() {
 		t.Error("known types reported invalid")
 	}
 	if maxType.Valid() {

@@ -1,0 +1,526 @@
+// Package plumtree implements the Plumtree epidemic broadcast tree protocol
+// (Leitão, Pereira, Rodrigues — "Epidemic Broadcast Trees", SRDS 2007), the
+// companion broadcast layer the authors designed to run on top of HyParView.
+//
+// Instead of pushing every payload on every overlay link (flooding), each
+// node splits its overlay neighbors into an eager set and a lazy set:
+//
+//   - Eager peers receive the payload itself (PLUMTREEGOSSIP). The eager
+//     links of all nodes converge to a spanning tree of the overlay: the
+//     first copy of a message moves the sending link to eager, a redundant
+//     copy is answered with PLUMTREEPRUNE, demoting the link to lazy.
+//   - Lazy peers receive only an announcement (PLUMTREEIHAVE) carrying the
+//     round identifier and the hop count. Announcements are what keep the
+//     protocol reliable: a node that hears about a message it never receives
+//     starts a missing-message timer and, on expiry, sends PLUMTREEGRAFT to
+//     an announcer, which both repairs the tree (the grafted link becomes
+//     eager on both ends) and triggers retransmission of the payload.
+//
+// Tree optimization (paper §4.4): when an IHAVE announces a path shorter by
+// Config.OptimizeThreshold hops than the eager path a message actually
+// arrived on, the node grafts the announcer and prunes its current parent,
+// so the tree keeps approximating a BFS tree as the overlay changes.
+//
+// Timers in a synchronous world: this repository's simulator delivers
+// messages from a FIFO queue with no clock, so the missing-message timer is
+// modeled as a self-addressed PLUMTREEIHAVE that the node re-enqueues
+// Config.TimerPasses times before acting. Each pass drains behind all
+// traffic queued before it, which is exactly the "wait long enough for the
+// eager path to win" semantics the paper's timer provides — and it makes
+// tree repair run to completion inside a single Drain, deterministic under a
+// fixed seed. Divergence from the paper: IHAVE announcements are sent
+// immediately rather than batched by a lazy-queue policy.
+//
+// The node implements gossip.Broadcaster over any peer.Membership, so the
+// experiment harness can swap flood gossip for Plumtree with a cluster
+// option and compare reliability and relative message redundancy (RMR).
+package plumtree
+
+import (
+	"sort"
+
+	"hyparview/internal/gossip"
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+)
+
+// Config parameterizes a Plumtree node. Zero fields take defaults.
+type Config struct {
+	// TimerPasses is the number of extra queue passes a missing-message
+	// timer waits before grafting: the self-addressed timer message is
+	// re-enqueued this many times, each pass letting roughly one more
+	// dissemination wavefront (in particular the eager copy racing the
+	// announcement) arrive first. Too small a value grafts spuriously
+	// whenever a lazy shortcut beats a deep eager path, keeping the tree in
+	// permanent churn; 8 passes cover the eager/lazy depth gap of overlays
+	// up to well beyond 10k nodes while still repairing inside a single
+	// drain. Default 8.
+	TimerPasses int
+
+	// OptimizeThreshold is the minimum hop-count improvement an IHAVE
+	// announcement must promise over the current eager path before the node
+	// swaps the links (GRAFT the announcer, PRUNE the parent). Default 3.
+	OptimizeThreshold int
+
+	// ReportPeerDown controls whether send failures are reported to the
+	// membership protocol's OnPeerDown. True when running over HyParView,
+	// whose broadcast doubles as its failure detector.
+	ReportPeerDown bool
+}
+
+// WithDefaults fills unset fields with the defaults above.
+func (c Config) WithDefaults() Config {
+	if c.TimerPasses == 0 {
+		c.TimerPasses = 8
+	}
+	if c.OptimizeThreshold == 0 {
+		c.OptimizeThreshold = 3
+	}
+	return c
+}
+
+// cached is the per-delivered-round state: the payload is kept for GRAFT
+// retransmissions, hops and parent feed the optimization rule.
+type cached struct {
+	payload []byte
+	hops    uint16 // hop count at which this node delivered
+	parent  id.ID  // eager peer the first copy arrived from (Nil if local)
+}
+
+// source is one IHAVE announcer of a round this node has not delivered.
+type source struct {
+	peer id.ID
+	hops uint16
+}
+
+// missing tracks a round known only through announcements.
+type missing struct {
+	sources []source // announcers in arrival order; grafts try them in turn
+	timer   bool     // a timer message is in flight for this round
+}
+
+// ControlStats counts Plumtree's control-plane activity.
+type ControlStats struct {
+	IHavesSent  uint64 // announcements pushed to lazy peers
+	GraftsSent  uint64 // repair grafts (retransmission requests)
+	PrunesSent  uint64 // duplicate-triggered demotions
+	TimerFires  uint64 // missing-message timers that expired into a graft
+	Optimizes   uint64 // eager/lazy swaps triggered by shorter announced paths
+	GraftsRecvd uint64 // grafts answered (payload retransmitted if cached)
+}
+
+// Node is a Plumtree broadcast node over a membership protocol. It
+// implements gossip.Broadcaster (and therefore peer.Process).
+type Node struct {
+	env        peer.Env
+	membership peer.Membership
+	cfg        Config
+	onDeliver  gossip.Delivery
+
+	eager map[id.ID]struct{}
+	lazy  map[id.ID]struct{}
+	seen  map[uint64]*cached
+	miss  map[uint64]*missing
+
+	// Payload accounting shared with the flood layer (gossip.Broadcaster).
+	delivered  uint64
+	duplicates uint64
+	forwarded  uint64
+	sendFails  uint64
+
+	control ControlStats
+}
+
+var _ gossip.Broadcaster = (*Node)(nil)
+
+// New builds a Plumtree node over membership. onDeliver may be nil.
+func New(env peer.Env, membership peer.Membership, cfg Config, onDeliver gossip.Delivery) *Node {
+	return &Node{
+		env:        env,
+		membership: membership,
+		cfg:        cfg.WithDefaults(),
+		onDeliver:  onDeliver,
+		eager:      make(map[id.ID]struct{}),
+		lazy:       make(map[id.ID]struct{}),
+		seen:       make(map[uint64]*cached),
+		miss:       make(map[uint64]*missing),
+	}
+}
+
+// Membership returns the wrapped membership protocol.
+func (n *Node) Membership() peer.Membership { return n.membership }
+
+// Config returns the node's effective configuration (defaults applied).
+func (n *Node) Config() Config { return n.cfg }
+
+// Deliver implements peer.Process. Plumtree traffic is consumed here,
+// everything else is handed to the membership protocol. A PLUMTREEIHAVE
+// from the node itself is a missing-message timer tick (see package doc).
+func (n *Node) Deliver(from id.ID, m msg.Message) {
+	switch m.Type {
+	case msg.PlumtreeGossip:
+		n.onGossip(from, m)
+	case msg.PlumtreeIHave:
+		if from == n.env.Self() {
+			n.onTimer(m)
+		} else {
+			n.onIHave(from, m)
+		}
+	case msg.PlumtreeGraft:
+		n.onGraft(from, m)
+	case msg.PlumtreePrune:
+		n.onPrune(from)
+	default:
+		n.membership.Deliver(from, m)
+	}
+}
+
+// OnCycle runs the membership cycle, reconciles the peer sets against the
+// possibly-changed overlay neighborhood, and re-arms repair timers for
+// rounds still known only through announcements.
+func (n *Node) OnCycle() {
+	n.membership.OnCycle()
+	n.reconcile()
+	// Sorted iteration keeps the event trace deterministic under a seed.
+	rounds := make([]uint64, 0, len(n.miss))
+	for round := range n.miss {
+		rounds = append(rounds, round)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	for _, round := range rounds {
+		ms := n.miss[round]
+		if ms.timer {
+			continue
+		}
+		if len(ms.sources) == 0 {
+			// Every announcer was tried and failed; forget the round until
+			// someone announces it again.
+			delete(n.miss, round)
+			continue
+		}
+		n.startTimer(round, 0) // graft at the next drain
+	}
+}
+
+// Broadcast emits a new message from this node: payload to eager peers,
+// announcement to lazy peers.
+func (n *Node) Broadcast(round uint64, payload []byte) {
+	if _, dup := n.seen[round]; dup {
+		return
+	}
+	n.reconcile()
+	n.seen[round] = &cached{payload: payload, hops: 0, parent: id.Nil}
+	n.delivered++
+	if n.onDeliver != nil {
+		n.onDeliver(round, payload, 0)
+	}
+	n.push(round, payload, 0, id.Nil)
+}
+
+// onGossip handles an eager payload push.
+func (n *Node) onGossip(from id.ID, m msg.Message) {
+	n.reconcile()
+	if _, dup := n.seen[m.Round]; dup {
+		// Redundant copy: this link is not part of the tree. Demote it and
+		// tell the sender to stop eager-pushing to us (paper §4.2).
+		n.duplicates++
+		n.demote(from)
+		if n.sendTo(from, msg.Message{Type: msg.PlumtreePrune, Sender: n.env.Self()}) {
+			n.control.PrunesSent++
+		}
+		return
+	}
+	hops := m.Hops + 1
+	n.seen[m.Round] = &cached{payload: m.Payload, hops: hops, parent: from}
+	n.delivered++
+	delete(n.miss, m.Round) // any in-flight timer finds the round delivered
+	if n.onDeliver != nil {
+		n.onDeliver(m.Round, m.Payload, int(hops))
+	}
+	n.promote(from) // the link that delivered first is a tree edge
+	n.push(m.Round, m.Payload, hops, from)
+}
+
+// onIHave handles a lazy announcement from a peer.
+func (n *Node) onIHave(from id.ID, m msg.Message) {
+	n.reconcile()
+	if c, ok := n.seen[m.Round]; ok {
+		n.maybeOptimize(from, m.Hops, c)
+		return
+	}
+	ms := n.miss[m.Round]
+	if ms == nil {
+		ms = &missing{}
+		n.miss[m.Round] = ms
+	}
+	ms.sources = append(ms.sources, source{peer: from, hops: m.Hops})
+	if !ms.timer {
+		n.startTimer(m.Round, n.cfg.TimerPasses)
+	}
+}
+
+// maybeOptimize applies the paper's §4.4 tree optimization: if the announced
+// path would have delivered the message at least OptimizeThreshold hops
+// earlier than the eager path did, swap the links.
+func (n *Node) maybeOptimize(from id.ID, announcedHops uint16, c *cached) {
+	if _, isEager := n.eager[from]; isEager {
+		return
+	}
+	if int(announcedHops)+1+n.cfg.OptimizeThreshold > int(c.hops) {
+		return
+	}
+	n.promote(from)
+	// Accept=false: graft the link without requesting a retransmission.
+	if n.sendTo(from, msg.Message{Type: msg.PlumtreeGraft, Sender: n.env.Self(), Accept: false}) {
+		n.control.Optimizes++
+	}
+	if parent := c.parent; !parent.IsNil() && parent != from {
+		if _, ok := n.eager[parent]; ok {
+			n.demote(parent)
+			if n.sendTo(parent, msg.Message{Type: msg.PlumtreePrune, Sender: n.env.Self()}) {
+				n.control.PrunesSent++
+			}
+		}
+	}
+}
+
+// onGraft handles a repair request: the requesting link becomes eager again
+// and, when a retransmission is requested (Accept) and the payload is still
+// cached, the payload is resent.
+func (n *Node) onGraft(from id.ID, m msg.Message) {
+	n.reconcile()
+	n.promote(from)
+	n.control.GraftsRecvd++
+	if !m.Accept {
+		return
+	}
+	if c, ok := n.seen[m.Round]; ok {
+		if n.sendTo(from, msg.Message{
+			Type:    msg.PlumtreeGossip,
+			Sender:  n.env.Self(),
+			Round:   m.Round,
+			Hops:    c.hops,
+			Payload: c.payload,
+		}) {
+			n.forwarded++
+		}
+	}
+}
+
+// onPrune demotes the link to the pruning peer to lazy.
+func (n *Node) onPrune(from id.ID) {
+	n.reconcile()
+	n.demote(from)
+}
+
+// onTimer handles one tick of a missing-message timer (a self-addressed
+// IHAVE; TTL counts the remaining queue passes).
+func (n *Node) onTimer(m msg.Message) {
+	ms := n.miss[m.Round]
+	if ms == nil {
+		return // delivered (or forgotten) while the timer was in flight
+	}
+	if m.TTL > 0 {
+		n.startTimer(m.Round, int(m.TTL)-1)
+		return
+	}
+	n.timerExpired(m.Round, ms)
+}
+
+// timerExpired grafts the first reachable announcer of round. If announcers
+// remain afterwards the timer is re-armed, so a graft to a peer that fails
+// before answering falls through to the next announcer.
+func (n *Node) timerExpired(round uint64, ms *missing) {
+	ms.timer = false
+	for len(ms.sources) > 0 {
+		s := ms.sources[0]
+		ms.sources = ms.sources[1:]
+		n.promote(s.peer)
+		if n.sendTo(s.peer, msg.Message{
+			Type:   msg.PlumtreeGraft,
+			Sender: n.env.Self(),
+			Round:  round,
+			Accept: true,
+		}) {
+			n.control.GraftsSent++
+			n.control.TimerFires++
+			break
+		}
+	}
+	if len(ms.sources) > 0 {
+		n.startTimer(round, n.cfg.TimerPasses)
+	}
+	// Otherwise the entry stays with no timer armed: a future IHAVE re-arms
+	// it, or OnCycle garbage-collects it.
+}
+
+// startTimer enqueues the self-addressed timer message for round with the
+// given number of re-queue passes. Environments that cannot deliver to self
+// degrade to an immediate expiry, which only costs extra grafts.
+func (n *Node) startTimer(round uint64, passes int) {
+	ms := n.miss[round]
+	if ms == nil {
+		return
+	}
+	ms.timer = true
+	err := n.env.Send(n.env.Self(), msg.Message{
+		Type:   msg.PlumtreeIHave,
+		Sender: n.env.Self(),
+		Round:  round,
+		TTL:    uint8(passes),
+	})
+	if err != nil {
+		n.timerExpired(round, ms)
+	}
+}
+
+// push sends the payload to every eager peer and the announcement to every
+// lazy peer, excluding the link the message arrived on.
+func (n *Node) push(round uint64, payload []byte, hops uint16, skip id.ID) {
+	self := n.env.Self()
+	for _, p := range sortedPeers(n.eager, skip) {
+		if n.sendTo(p, msg.Message{
+			Type:    msg.PlumtreeGossip,
+			Sender:  self,
+			Round:   round,
+			Hops:    hops,
+			Payload: payload,
+		}) {
+			n.forwarded++
+		}
+	}
+	for _, p := range sortedPeers(n.lazy, skip) {
+		if n.sendTo(p, msg.Message{
+			Type:   msg.PlumtreeIHave,
+			Sender: self,
+			Round:  round,
+			Hops:   hops,
+		}) {
+			n.control.IHavesSent++
+		}
+	}
+}
+
+// sendTo sends m to dst, handling the failure-detection path: a send
+// rejected with peer.ErrPeerDown removes dst from both peer sets and, when
+// configured, is reported to the membership protocol.
+func (n *Node) sendTo(dst id.ID, m msg.Message) bool {
+	if err := n.env.Send(dst, m); err != nil {
+		n.sendFails++
+		delete(n.eager, dst)
+		delete(n.lazy, dst)
+		if n.cfg.ReportPeerDown {
+			n.membership.OnPeerDown(dst)
+		}
+		return false
+	}
+	return true
+}
+
+// reconcile synchronizes the eager/lazy partition with the membership
+// protocol's current neighborhood: new overlay neighbors start eager (their
+// first redundant push gets pruned), departed neighbors are dropped. This
+// keeps Plumtree correct over any peer.Membership without requiring
+// neighbor-change callbacks.
+func (n *Node) reconcile() {
+	neighbors := n.membership.Neighbors()
+	current := make(map[id.ID]struct{}, len(neighbors))
+	for _, p := range neighbors {
+		if p == n.env.Self() {
+			continue
+		}
+		current[p] = struct{}{}
+		if _, ok := n.eager[p]; ok {
+			continue
+		}
+		if _, ok := n.lazy[p]; ok {
+			continue
+		}
+		n.eager[p] = struct{}{}
+	}
+	for p := range n.eager {
+		if _, ok := current[p]; !ok {
+			delete(n.eager, p)
+		}
+	}
+	for p := range n.lazy {
+		if _, ok := current[p]; !ok {
+			delete(n.lazy, p)
+		}
+	}
+}
+
+// promote moves p to the eager set.
+func (n *Node) promote(p id.ID) {
+	if p.IsNil() || p == n.env.Self() {
+		return
+	}
+	delete(n.lazy, p)
+	n.eager[p] = struct{}{}
+}
+
+// demote moves p to the lazy set.
+func (n *Node) demote(p id.ID) {
+	if p.IsNil() {
+		return
+	}
+	if _, ok := n.eager[p]; ok {
+		delete(n.eager, p)
+		n.lazy[p] = struct{}{}
+	}
+}
+
+// EagerPeers returns the current eager set, sorted (tests, metrics).
+func (n *Node) EagerPeers() []id.ID { return sortedPeers(n.eager, id.Nil) }
+
+// LazyPeers returns the current lazy set, sorted (tests, metrics).
+func (n *Node) LazyPeers() []id.ID { return sortedPeers(n.lazy, id.Nil) }
+
+// Counters implements gossip.Broadcaster: payload accounting compatible
+// with the flood layer's, feeding the shared RMR computation.
+func (n *Node) Counters() (delivered, duplicates, forwarded, sendFails uint64) {
+	return n.delivered, n.duplicates, n.forwarded, n.sendFails
+}
+
+// Control returns the control-plane counters.
+func (n *Node) Control() ControlStats { return n.control }
+
+// Seen reports whether the node has delivered round.
+func (n *Node) Seen(round uint64) bool {
+	_, ok := n.seen[round]
+	return ok
+}
+
+// ResetSeen clears the delivered-message cache and the missing-round state;
+// experiments spanning many thousands of rounds use this to bound memory.
+func (n *Node) ResetSeen() {
+	n.seen = make(map[uint64]*cached)
+	n.miss = make(map[uint64]*missing)
+}
+
+// OnPeerDown implements peer.FailureObserver: a connection-level failure
+// removes the peer from both sets and is forwarded to the membership
+// protocol (which for HyParView triggers reactive view repair).
+func (n *Node) OnPeerDown(peerID id.ID) {
+	delete(n.eager, peerID)
+	delete(n.lazy, peerID)
+	n.membership.OnPeerDown(peerID)
+}
+
+// sortedPeers returns the members of set except skip, in ascending ID order
+// so that send order — and therefore the simulator's event trace — is
+// deterministic.
+func sortedPeers(set map[id.ID]struct{}, skip id.ID) []id.ID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]id.ID, 0, len(set))
+	for p := range set {
+		if p != skip {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -18,8 +18,10 @@ import (
 	"hyparview/internal/gossip"
 	"hyparview/internal/graph"
 	"hyparview/internal/id"
+	"hyparview/internal/metrics"
 	"hyparview/internal/netsim"
 	"hyparview/internal/peer"
+	"hyparview/internal/plumtree"
 	"hyparview/internal/rng"
 	"hyparview/internal/scamp"
 )
@@ -56,6 +58,33 @@ func AllProtocols() []Protocol {
 	return []Protocol{HyParView, CyclonAcked, Cyclon, Scamp}
 }
 
+// BroadcastProtocol selects the broadcast layer a cluster runs on top of its
+// membership protocol.
+type BroadcastProtocol int
+
+// The two broadcast layers.
+const (
+	// BroadcastGossip is the paper's evaluation broadcast: flooding for
+	// HyParView, random fanout for the peer-sampling protocols.
+	BroadcastGossip BroadcastProtocol = iota
+	// BroadcastPlumtree runs the Plumtree epidemic broadcast tree (eager
+	// push on tree links, lazy announcements elsewhere) over the membership
+	// protocol.
+	BroadcastPlumtree
+)
+
+// String names the broadcast protocol.
+func (b BroadcastProtocol) String() string {
+	switch b {
+	case BroadcastGossip:
+		return "gossip"
+	case BroadcastPlumtree:
+		return "plumtree"
+	default:
+		return fmt.Sprintf("BroadcastProtocol(%d)", int(b))
+	}
+}
+
 // Options configures a cluster build.
 type Options struct {
 	// N is the cluster size (paper: 10,000).
@@ -65,6 +94,14 @@ type Options struct {
 	// Fanout is the gossip fan-out for the peer-sampling protocols
 	// (paper §5.1: 4). HyParView floods and ignores it.
 	Fanout int
+	// Broadcast selects the broadcast layer: the paper's flood/fanout
+	// gossip (default) or Plumtree epidemic broadcast trees.
+	Broadcast BroadcastProtocol
+	// Plumtree overrides Plumtree parameters when Broadcast is
+	// BroadcastPlumtree; zero fields take the protocol's defaults. Over
+	// HyParView and CyclonAcked the cluster forces ReportPeerDown on
+	// (broadcast doubles as their failure detector, as in gossip mode).
+	Plumtree plumtree.Config
 	// HyParView, Cyclon and Scamp override protocol parameters; zero fields
 	// take the paper's defaults.
 	HyParView core.Config
@@ -109,7 +146,7 @@ type Cluster struct {
 	Tracker  *gossip.Tracker
 
 	ids        []id.ID
-	gossipers  map[id.ID]*gossip.Node
+	gossipers  map[id.ID]gossip.Broadcaster
 	membership map[id.ID]peer.Membership
 }
 
@@ -122,11 +159,10 @@ func NewCluster(proto Protocol, opts Options) *Cluster {
 		Opts:       opts,
 		Sim:        netsim.New(opts.Seed),
 		Tracker:    gossip.NewTracker(),
-		gossipers:  make(map[id.ID]*gossip.Node, opts.N),
+		gossipers:  make(map[id.ID]gossip.Broadcaster, opts.N),
 		membership: make(map[id.ID]peer.Membership, opts.N),
 	}
 	c.Sim.Latency = opts.Latency
-	gcfg := c.gossipConfig()
 	for i := 0; i < opts.N; i++ {
 		nodeID := id.ID(i + 1)
 		c.ids = append(c.ids, nodeID)
@@ -134,7 +170,7 @@ func NewCluster(proto Protocol, opts Options) *Cluster {
 		c.Sim.Add(nodeID, func(env peer.Env) peer.Process {
 			m := c.newMembership(env, i)
 			joiner = m.(interface{ Join(id.ID) error })
-			g := gossip.New(env, m, gcfg, c.Tracker.Deliver)
+			g := c.newBroadcaster(env, m)
 			c.gossipers[nodeID] = g
 			c.membership[nodeID] = m
 			return g
@@ -195,6 +231,22 @@ func (c *Cluster) gossipConfig() gossip.Config {
 		// Plain Cyclon and SCAMP: fire-and-forget random fan-out.
 		return gossip.Config{Mode: gossip.Fanout, Fanout: c.Opts.Fanout}
 	}
+}
+
+// newBroadcaster builds the broadcast-layer node selected by Opts.Broadcast
+// over the membership instance m.
+func (c *Cluster) newBroadcaster(env peer.Env, m peer.Membership) gossip.Broadcaster {
+	if c.Opts.Broadcast == BroadcastPlumtree {
+		pcfg := c.Opts.Plumtree
+		// Over HyParView and CyclonAcked, broadcast sends double as the
+		// failure detector, exactly as in gossip mode; an explicit opt-in
+		// via Options.Plumtree is honored for the other protocols too.
+		if c.Protocol == HyParView || c.Protocol == CyclonAcked {
+			pcfg.ReportPeerDown = true
+		}
+		return plumtree.New(env, m, pcfg, c.Tracker.Deliver)
+	}
+	return gossip.New(env, m, c.gossipConfig(), c.Tracker.Deliver)
 }
 
 // Stabilize runs the given number of membership cycles (paper: 50) over the
@@ -288,8 +340,68 @@ func (c *Cluster) Accuracy() float64 {
 // Membership exposes the protocol instance of one node (tests, metrics).
 func (c *Cluster) Membership(n id.ID) peer.Membership { return c.membership[n] }
 
-// Gossiper exposes the gossip node of one node (tests, metrics).
-func (c *Cluster) Gossiper(n id.ID) *gossip.Node { return c.gossipers[n] }
+// Gossiper exposes the broadcast-layer node of one node (tests, metrics).
+// The concrete type is *gossip.Node or *plumtree.Node per Opts.Broadcast.
+func (c *Cluster) Gossiper(n id.ID) gossip.Broadcaster { return c.gossipers[n] }
+
+// CounterTotals sums the broadcast-layer counters over the whole population
+// (live and failed): locally delivered first copies, redundant payload
+// receptions, successful payload forwards, and rejected sends. Experiments
+// snapshot the totals around a burst to compute the RMR metric.
+func (c *Cluster) CounterTotals() (delivered, duplicates, forwarded, sendFails uint64) {
+	for _, g := range c.gossipers {
+		d, dup, fwd, sf := g.Counters()
+		delivered += d
+		duplicates += dup
+		forwarded += fwd
+		sendFails += sf
+	}
+	return delivered, duplicates, forwarded, sendFails
+}
+
+// BurstStats aggregates one measured broadcast burst.
+type BurstStats struct {
+	// MeanReliability and FinalReliability are the mean and last-message
+	// fraction of live nodes that delivered (paper §2.5).
+	MeanReliability  float64
+	FinalReliability float64
+	// RMR is the relative message redundancy over the burst: payload
+	// messages received from the network per receiving node beyond the
+	// first copy (0 = perfect spanning tree; see metrics.RMR).
+	RMR float64
+	// MeanMaxHops averages the per-message last-delivery hop count, the
+	// paper's Table 1 latency proxy.
+	MeanMaxHops float64
+}
+
+// MeasureBurst sends msgs broadcasts back to back from random live nodes
+// (no membership cycles in between) and returns reliability, redundancy and
+// hop statistics for the burst.
+func (c *Cluster) MeasureBurst(msgs int) BurstStats {
+	var out BurstStats
+	if msgs <= 0 {
+		return out
+	}
+	d0, dup0, _, _ := c.CounterTotals()
+	var rels []float64
+	var sumMaxHops float64
+	for i := 0; i < msgs; i++ {
+		rel, maxHops, _ := c.BroadcastDetailed()
+		rels = append(rels, rel)
+		sumMaxHops += float64(maxHops)
+	}
+	d1, dup1, _, _ := c.CounterTotals()
+	delivered := float64(d1 - d0) // includes the msgs source-local deliveries
+	duplicates := float64(dup1 - dup0)
+	k := float64(msgs)
+	// Per-message averages: payload receptions over the network and nodes
+	// reached, then the paper's RMR formula.
+	out.RMR = metrics.RMR((delivered-k+duplicates)/k, delivered/k)
+	out.MeanReliability = metrics.Mean(rels)
+	out.FinalReliability = rels[len(rels)-1]
+	out.MeanMaxHops = sumMaxHops / k
+	return out
+}
 
 // IDs returns the full population (live and failed) in join order.
 func (c *Cluster) IDs() []id.ID {

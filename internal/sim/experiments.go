@@ -238,6 +238,61 @@ func Fig5InDegree(opts Options) *metrics.Table {
 	return t
 }
 
+// FloodVsPlumtreePoint is one broadcast-layer/failure-level measurement of
+// the flood-vs-tree comparison.
+type FloodVsPlumtreePoint struct {
+	Broadcast BroadcastProtocol
+	FailPct   int
+	BurstStats
+}
+
+// FloodVsPlumtree compares HyParView's flood broadcast against Plumtree over
+// the same membership substrate: after stabilization and a warm-up burst
+// (which lets Plumtree prune its eager links into a spanning tree), it
+// measures a burst of msgs broadcasts at each failure level — 0 plus the
+// paper's mass-failure percentages — reporting reliability, relative message
+// redundancy (RMR) and last-delivery hop count. This is the experiment of
+// the authors' companion Plumtree paper (SRDS 2007) run under this paper's
+// §5 methodology.
+func FloodVsPlumtree(opts Options, warmup, msgs int, failPcts []int) ([]FloodVsPlumtreePoint, *metrics.Table) {
+	opts = opts.withDefaults()
+	t := metrics.NewTable(
+		fmt.Sprintf("FloodVsPlumtree: HyParView broadcast layers (n=%d, %d msgs)", opts.N, msgs),
+		"broadcast", "fail%", "reliability", "final-rel", "rmr", "max-hops")
+	var points []FloodVsPlumtreePoint
+	// Always measure the no-failure baseline, without duplicating it when
+	// the caller lists 0 explicitly.
+	levels := []int{0}
+	seen := map[int]bool{0: true}
+	for _, pct := range failPcts {
+		if !seen[pct] {
+			seen[pct] = true
+			levels = append(levels, pct)
+		}
+	}
+	for _, b := range []BroadcastProtocol{BroadcastGossip, BroadcastPlumtree} {
+		for _, pct := range levels {
+			o := opts
+			o.Broadcast = b
+			// Same seed for both layers at a given failure level: identical
+			// overlay construction and failure pattern, so the comparison
+			// isolates the broadcast layer.
+			o.Seed = opts.Seed + uint64(pct)*31
+			c := NewCluster(HyParView, o)
+			c.Stabilize(o.StabilizationCycles)
+			c.BroadcastBurst(warmup)
+			if pct > 0 {
+				c.FailFraction(float64(pct) / 100)
+			}
+			stats := c.MeasureBurst(msgs)
+			points = append(points, FloodVsPlumtreePoint{Broadcast: b, FailPct: pct, BurstStats: stats})
+			t.AddRow(b.String(), pct, stats.MeanReliability, stats.FinalReliability,
+				stats.RMR, stats.MeanMaxHops)
+		}
+	}
+	return points, t
+}
+
 // Fig2MassFailureRuns aggregates Fig2MassFailure over runs independent
 // seeded executions, as the paper does ("results show an aggregation from
 // multiple runs of each experiment", §5.1). The table reports per-cell

@@ -17,7 +17,6 @@ import (
 	"fmt"
 
 	"hyparview/internal/core"
-	"hyparview/internal/gossip"
 	"hyparview/internal/graph"
 	"hyparview/internal/id"
 	"hyparview/internal/metrics"
@@ -136,13 +135,12 @@ func Churn(opts Options, churnPct float64, cycles, probes int) ([]ChurnResult, *
 
 // addNode joins one additional node to a running cluster through contact.
 func (c *Cluster) addNode(nodeID id.ID, contact id.ID) {
-	gcfg := c.gossipConfig()
 	idx := len(c.ids)
 	var joiner interface{ Join(id.ID) error }
 	c.Sim.Add(nodeID, func(env peer.Env) peer.Process {
 		m := c.newMembership(env, idx)
 		joiner = m.(interface{ Join(id.ID) error })
-		g := gossip.New(env, m, gcfg, c.Tracker.Deliver)
+		g := c.newBroadcaster(env, m)
 		c.gossipers[nodeID] = g
 		c.membership[nodeID] = m
 		return g

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+
+	"hyparview/internal/plumtree"
+)
+
+// TestFloodVsPlumtreeAtScale is the headline comparison: over the same
+// stabilized 1000-node HyParView overlay, Plumtree must match flooding's
+// reliability while cutting the relative message redundancy, both before and
+// immediately after a 30% mass failure.
+func TestFloodVsPlumtreeAtScale(t *testing.T) {
+	points, _ := FloodVsPlumtree(Options{N: 1000, Seed: 3}, 20, 20, []int{30})
+	byKey := make(map[string]FloodVsPlumtreePoint)
+	for _, p := range points {
+		byKey[p.Broadcast.String()+"/"+string(rune('0'+p.FailPct/10))] = p
+	}
+	flood0, plum0 := byKey["gossip/0"], byKey["plumtree/0"]
+	flood30, plum30 := byKey["gossip/3"], byKey["plumtree/3"]
+
+	// Reliability: the tree must not cost deliveries.
+	if plum0.MeanReliability < flood0.MeanReliability {
+		t.Errorf("stabilized: plumtree reliability %.4f < flood %.4f",
+			plum0.MeanReliability, flood0.MeanReliability)
+	}
+	if plum0.MeanReliability < 1.0 {
+		t.Errorf("stabilized plumtree reliability = %.4f, want 1.0", plum0.MeanReliability)
+	}
+	// Redundancy: flooding pays ~degree-1 extra payloads per delivery, the
+	// stabilized tree pays almost none.
+	if plum0.RMR >= flood0.RMR {
+		t.Errorf("stabilized: plumtree RMR %.4f not below flood %.4f", plum0.RMR, flood0.RMR)
+	}
+	if plum0.RMR > 0.05 {
+		t.Errorf("stabilized plumtree RMR = %.4f, want ~0 (single tree)", plum0.RMR)
+	}
+	if flood0.RMR < 1 {
+		t.Errorf("flood RMR = %.4f, implausibly low for a degree-5 overlay", flood0.RMR)
+	}
+
+	// Under a 30% mass failure the lazy links and graft repair must keep
+	// Plumtree at flood's reliability, still at lower redundancy.
+	if plum30.MeanReliability < flood30.MeanReliability {
+		t.Errorf("30%% failures: plumtree reliability %.4f < flood %.4f",
+			plum30.MeanReliability, flood30.MeanReliability)
+	}
+	if plum30.RMR >= flood30.RMR {
+		t.Errorf("30%% failures: plumtree RMR %.4f not below flood %.4f", plum30.RMR, flood30.RMR)
+	}
+}
+
+// TestPlumtreeClusterReliabilityHigh mirrors the flood cluster smoke test at
+// a smaller scale: a stabilized Plumtree cluster delivers atomically.
+func TestPlumtreeClusterReliabilityHigh(t *testing.T) {
+	c := NewCluster(HyParView, Options{N: 500, Seed: 7, Broadcast: BroadcastPlumtree})
+	c.Stabilize(50)
+	c.BroadcastBurst(10)
+	for i := 0; i < 5; i++ {
+		if rel := c.Broadcast(); rel != 1.0 {
+			t.Errorf("broadcast %d reliability = %v, want 1.0", i, rel)
+		}
+	}
+}
+
+// TestPlumtreeSurvivesMassFailure mirrors the paper's §5 methodology under
+// the tree broadcast: the burst right after a heavy failure recovers.
+func TestPlumtreeSurvivesMassFailure(t *testing.T) {
+	c := NewCluster(HyParView, Options{N: 500, Seed: 9, Broadcast: BroadcastPlumtree})
+	c.Stabilize(50)
+	c.BroadcastBurst(10)
+	c.FailFraction(0.4)
+	rels := c.BroadcastBurst(20)
+	if final := rels[len(rels)-1]; final < 0.999 {
+		t.Errorf("final reliability after 40%% failures = %v, want ~1", final)
+	}
+}
+
+// TestPlumtreeDeterminism pins the seed-reproducibility contract for the
+// tree broadcast layer, as TestDeterminism does for flooding.
+func TestPlumtreeDeterminism(t *testing.T) {
+	run := func() BurstStats {
+		c := NewCluster(HyParView, Options{N: 300, Seed: 21, Broadcast: BroadcastPlumtree})
+		c.Stabilize(30)
+		c.BroadcastBurst(10)
+		return c.MeasureBurst(10)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestPlumtreeOverPeerSampling checks the layer is membership-agnostic: over
+// Cyclon's directed partial views it must reach at least what the overlay's
+// reachability allows, comparable to fanout gossip.
+func TestPlumtreeOverPeerSampling(t *testing.T) {
+	c := NewCluster(Cyclon, Options{N: 300, Seed: 5, Broadcast: BroadcastPlumtree})
+	c.Stabilize(30)
+	c.BroadcastBurst(5)
+	rels := c.BroadcastBurst(5)
+	for i, rel := range rels {
+		if rel < 0.95 {
+			t.Errorf("broadcast %d over Cyclon reliability = %v, want >= 0.95", i, rel)
+		}
+	}
+}
+
+// TestPlumtreeConfigPlumbing verifies cluster options reach the nodes.
+func TestPlumtreeConfigPlumbing(t *testing.T) {
+	c := NewCluster(HyParView, Options{
+		N: 50, Seed: 2, Broadcast: BroadcastPlumtree,
+		Plumtree: plumtree.Config{TimerPasses: 3},
+	})
+	pn, ok := c.Gossiper(1).(*plumtree.Node)
+	if !ok {
+		t.Fatalf("broadcaster is %T, want *plumtree.Node", c.Gossiper(1))
+	}
+	if got := pn.Config().TimerPasses; got != 3 {
+		t.Errorf("TimerPasses = %d, option did not reach the node", got)
+	}
+	if !pn.Config().ReportPeerDown {
+		t.Error("ReportPeerDown not forced on over HyParView")
+	}
+	c.Stabilize(5)
+	if rel := c.Broadcast(); rel != 1.0 {
+		t.Errorf("small cluster reliability = %v", rel)
+	}
+}
+
+func TestBroadcastProtocolString(t *testing.T) {
+	if BroadcastGossip.String() != "gossip" || BroadcastPlumtree.String() != "plumtree" {
+		t.Error("broadcast protocol names wrong")
+	}
+	if BroadcastProtocol(9).String() == "" {
+		t.Error("unknown broadcast protocol has empty name")
+	}
+}
+
+// TestCounterTotalsAccounting cross-checks the cluster-wide counters against
+// the simulator's own delivery statistics for a flood burst.
+func TestCounterTotalsAccounting(t *testing.T) {
+	c := NewCluster(HyParView, Options{N: 200, Seed: 13})
+	c.Stabilize(20)
+	d0, dup0, _, _ := c.CounterTotals()
+	before := c.Sim.Stats()
+	c.BroadcastBurst(5)
+	after := c.Sim.Stats()
+	d1, dup1, _, _ := c.CounterTotals()
+	// Every network-delivered payload is either a first copy or a duplicate;
+	// the 5 sources delivered locally without a network message.
+	gotReceptions := (d1 - d0 - 5) + (dup1 - dup0)
+	if gotReceptions != after.Delivered-before.Delivered {
+		t.Errorf("counter receptions = %d, sim delivered = %d",
+			gotReceptions, after.Delivered-before.Delivered)
+	}
+}
