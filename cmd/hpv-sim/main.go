@@ -10,8 +10,12 @@
 // burst), fig2 (mean reliability vs failure %), fig3 (per-message recovery
 // series), fig4 (healing time in cycles), table1 (graph properties), fig5
 // (in-degree distribution), plumtree (flood vs epidemic broadcast trees;
-// also part of -exp extensions), all. The -broadcast=plumtree flag switches
-// any experiment's broadcast layer from flood/fanout gossip to Plumtree.
+// also part of -exp extensions), xbot (oblivious vs X-BOT-optimized overlay
+// under a latency model), all. The -broadcast=plumtree flag switches any
+// experiment's broadcast layer from flood/fanout gossip to Plumtree;
+// -latency=<model> runs any experiment in event-driven virtual time
+// (uniform, euclidean or transit link latencies); -optimize=xbot runs the
+// X-BOT optimizer alongside HyParView in any experiment.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"hyparview/internal/metrics"
+	"hyparview/internal/netsim"
 	"hyparview/internal/sim"
 )
 
@@ -37,7 +42,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hpv-sim", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|plumtree|all")
+		exp       = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|plumtree|xbot|all")
 		n         = fs.Int("n", 10000, "cluster size (paper: 10000)")
 		seed      = fs.Uint64("seed", 1, "base random seed")
 		msgs      = fs.Int("msgs", 1000, "messages per burst for fig2 (paper: 1000)")
@@ -45,6 +50,8 @@ func run(args []string, out io.Writer) error {
 		cycles    = fs.Int("stabilize", 50, "stabilization cycles (paper: 50)")
 		fanout    = fs.Int("fanout", 4, "gossip fanout for Cyclon/Scamp (paper: 4)")
 		broadcast = fs.String("broadcast", "gossip", "broadcast layer: gossip (flood/fanout) or plumtree")
+		latency   = fs.String("latency", "none", "latency model: none (FIFO), uniform, euclidean or transit")
+		optimize  = fs.String("optimize", "none", "overlay optimizer: none or xbot (HyParView only)")
 		pcts      = fs.String("pcts", "", "comma-separated failure percentages (default per experiment)")
 		asp       = fs.Int("asp-samples", 200, "BFS sources for avg shortest path (0 = exact)")
 		runs      = fs.Int("runs", 1, "independent seeded runs to aggregate for fig2/fig4")
@@ -66,6 +73,18 @@ func run(args []string, out io.Writer) error {
 		opts.Broadcast = sim.BroadcastPlumtree
 	default:
 		return fmt.Errorf("unknown broadcast layer %q (want gossip or plumtree)", *broadcast)
+	}
+	model, err := netsim.ParseLatencyModel(*latency, *seed)
+	if err != nil {
+		return err
+	}
+	opts.LatencyModel = model
+	switch *optimize {
+	case "", "none":
+	case "xbot":
+		opts.Optimizer = sim.OptimizerXBot
+	default:
+		return fmt.Errorf("unknown optimizer %q (want none or xbot)", *optimize)
 	}
 	emit := func(t *metrics.Table) {
 		if *csv {
@@ -136,6 +155,13 @@ func run(args []string, out io.Writer) error {
 			// Extension: 30/70 network cut for 3 cycles, then heal.
 			_, t := sim.PartitionHeal(opts, 0.3, 3, 10)
 			emit(t)
+		case "xbot":
+			// Oblivious vs X-BOT-optimized overlay under a latency model
+			// (Euclidean unless -latency selects another): link cost,
+			// reliability, virtual-time broadcast latency, degrees (the SRDS
+			// 2009 companion paper's evaluation).
+			_, t := sim.ObliviousVsXBot(opts, *fig3M)
+			emit(t)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -150,7 +176,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	if *exp == "extensions" {
-		for _, name := range []string{"overhead", "churn", "passive", "hetero", "partition", "plumtree"} {
+		for _, name := range []string{"overhead", "churn", "passive", "hetero", "partition", "plumtree", "xbot"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

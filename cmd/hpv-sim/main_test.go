@@ -102,6 +102,65 @@ func TestRunBroadcastFlag(t *testing.T) {
 	}
 }
 
+func TestRunXBotExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "xbot", "-n", "200", "-stabilize", "20", "-fig3msgs", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"ObliviousVsXBot", "oblivious", "xbot", "mean-link-cost", "euclidean"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestRunLatencyFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "xbot", "-n", "150", "-stabilize", "15", "-fig3msgs", "3", "-latency", "transit",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "transit-stub") {
+		t.Errorf("latency model not honored:\n%s", out.String())
+	}
+	// Any experiment must run under a latency model, not just xbot.
+	out.Reset()
+	if err := run([]string{
+		"-exp", "fig5", "-n", "120", "-stabilize", "5", "-latency", "euclidean",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("fig5 under a latency model produced no output")
+	}
+	if err := run([]string{"-latency", "bongo"}, &out); err == nil {
+		t.Error("unknown latency model accepted")
+	}
+}
+
+func TestRunOptimizeFlag(t *testing.T) {
+	var out strings.Builder
+	// The optimizer composes with any experiment (peer-sampling protocols
+	// ignore it); hetero is HyParView-only, so it visibly applies there.
+	err := run([]string{
+		"-exp", "hetero", "-n", "150", "-stabilize", "10", "-optimize", "xbot",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("optimized hetero run produced no output")
+	}
+	if err := run([]string{"-optimize", "bongo"}, &out); err == nil {
+		t.Error("unknown optimizer accepted")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-exp", "nope"}, &out); err == nil {

@@ -36,6 +36,26 @@ func ExampleNewCluster_massFailure() {
 	// 5th message after 80% failures: 1.00
 }
 
+// ExampleNewCluster_xbot runs the X-BOT optimizer under a Euclidean latency
+// model and shows the overlay getting sharply cheaper at full reliability.
+func ExampleNewCluster_xbot() {
+	oblivious := hyparview.NewCluster(hyparview.ProtoHyParView, hyparview.ClusterOptions{
+		N: 300, Seed: 7, LatencyModel: hyparview.NewEuclideanLatency(7),
+	})
+	optimized := hyparview.NewCluster(hyparview.ProtoHyParView, hyparview.ClusterOptions{
+		N: 300, Seed: 7, LatencyModel: hyparview.NewEuclideanLatency(7),
+		Optimizer: hyparview.OptimizerXBot,
+	})
+	oblivious.Stabilize(40)
+	optimized.Stabilize(40)
+	cut := 1 - optimized.MeanActiveLinkCost()/oblivious.MeanActiveLinkCost()
+	fmt.Printf("link cost cut by at least half: %v\n", cut > 0.5)
+	fmt.Printf("reliability: %.2f\n", optimized.Broadcast())
+	// Output:
+	// link cost cut by at least half: true
+	// reliability: 1.00
+}
+
 // ExampleNewAgent runs two real TCP nodes on loopback.
 func ExampleNewAgent() {
 	got := make(chan string, 1)

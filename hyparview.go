@@ -34,6 +34,24 @@
 //	c.BroadcastBurst(20)             // let pruning carve the broadcast tree
 //	fmt.Println(c.MeasureBurst(100)) // reliability 1.0 at RMR ≈ 0
 //
+// # Quick start (latency-aware optimization: X-BOT)
+//
+// A LatencyModel runs the simulation in event-driven virtual time with
+// non-uniform link latencies; the X-BOT optimizer (the authors' SRDS 2009
+// follow-up) then continuously rewires HyParView's active views toward
+// low-cost links via 4-node coordinated swaps, without changing node
+// degrees, symmetry or connectivity. The model doubles as the optimizer's
+// CostOracle — deployments would plug RTT estimates instead:
+//
+//	c := hyparview.NewCluster(hyparview.ProtoHyParView, hyparview.ClusterOptions{
+//		N:            1000,
+//		LatencyModel: hyparview.NewEuclideanLatency(1),
+//		Optimizer:    hyparview.OptimizerXBot,
+//	})
+//	c.Stabilize(50)                   // optimization runs with the cycles
+//	fmt.Println(c.MeanActiveLinkCost()) // ≈ 70% below the oblivious overlay
+//	fmt.Println(c.MeasureBurst(20))   // MeanMaxLatency: virtual-time delivery
+//
 // The facade below re-exports the library's building blocks; the
 // implementation lives in internal/ packages (one per subsystem — see
 // DESIGN.md for the inventory).
@@ -44,10 +62,12 @@ import (
 	"hyparview/internal/cyclon"
 	"hyparview/internal/gossip"
 	"hyparview/internal/id"
+	"hyparview/internal/netsim"
 	"hyparview/internal/plumtree"
 	"hyparview/internal/scamp"
 	"hyparview/internal/sim"
 	"hyparview/internal/transport"
+	"hyparview/internal/xbot"
 )
 
 // ID identifies a node in the overlay.
@@ -156,3 +176,48 @@ type PlumtreeConfig = plumtree.Config
 // Broadcaster is the contract both broadcast layers satisfy (flood/fanout
 // gossip and Plumtree); Cluster.Gossiper returns one.
 type Broadcaster = gossip.Broadcaster
+
+// LatencyModel describes per-link latencies for event-driven (virtual-time)
+// simulation: install one via ClusterOptions.LatencyModel to run any
+// experiment under non-uniform latency. A model also serves as the cost
+// oracle for overlay optimizers (Cost is Delay with jitter stripped).
+type LatencyModel = netsim.LatencyModel
+
+// NewUniformLatency returns the control-arm model: every link costs the
+// same, so an optimizer must measure zero improvement under it.
+func NewUniformLatency() LatencyModel { return netsim.NewUniform() }
+
+// NewEuclideanLatency places nodes at hashed virtual coordinates on the unit
+// square and charges the scaled Euclidean distance per link (Vivaldi-style
+// network coordinates).
+func NewEuclideanLatency(seed uint64) LatencyModel { return netsim.NewEuclidean(seed) }
+
+// NewTransitStubLatency models the classic two-tier internet topology: cheap
+// intra-cluster links, expensive transit-backbone crossings.
+func NewTransitStubLatency(seed uint64, clusters int) LatencyModel {
+	return netsim.NewTransitStub(seed, clusters)
+}
+
+// Optimizer selects an overlay optimization layer for simulated clusters.
+type Optimizer = sim.Optimizer
+
+// The optimization layers.
+const (
+	// OptimizerNone leaves the overlay oblivious, as the paper builds it.
+	OptimizerNone = sim.OptimizerNone
+	// OptimizerXBot runs the X-BOT 4-node coordinated swap protocol (the
+	// authors' SRDS 2009 follow-up) on every HyParView node, continuously
+	// rewiring active views toward low-cost links at unchanged degree,
+	// symmetry and connectivity.
+	OptimizerXBot = sim.OptimizerXBot
+)
+
+// XBotConfig carries the X-BOT optimizer's parameters (probe rate, protected
+// unbiased-link floor, handshake timeout).
+type XBotConfig = xbot.Config
+
+// CostOracle measures link costs for the X-BOT optimizer. Implementations
+// must be symmetric. By default a simulated cluster uses its LatencyModel;
+// set ClusterOptions.Oracle to optimize against a different cost surface
+// (deployments would plug RTT estimates).
+type CostOracle = xbot.Oracle

@@ -1,0 +1,48 @@
+package core
+
+import "hyparview/internal/id"
+
+// Surgical active-view hooks for overlay optimizers (internal/xbot).
+//
+// The X-BOT 4-node swap replaces one active link with another under its own
+// coordinated handshake: it must be able to move a specific live peer out of
+// the active view without the DISCONNECT courtesy message (the optimizer
+// sends XBOTDISCONNECTWAIT instead) and without kicking the reactive repair
+// machinery (the swap itself delivers the replacement link; if it aborts, the
+// next cycle's repair refills the slot). These entry points expose exactly
+// that, keeping all view bookkeeping — watch registration, listener
+// callbacks, active/passive disjointness — inside the protocol core.
+
+// PromoteActive moves peer into the active view (evicting a random member
+// with a DISCONNECT if the view is full, exactly like any other admission)
+// and reports whether peer is newly active. Promoting self, Nil or a current
+// active member is a no-op returning false.
+func (n *Node) PromoteActive(peer id.ID) bool {
+	if peer == n.self || peer.IsNil() || n.active.Contains(peer) {
+		return false
+	}
+	n.addActive(peer)
+	return n.active.Contains(peer)
+}
+
+// DemoteActive moves peer from the active to the passive view without
+// sending a DISCONNECT and without starting a repair promotion. It reports
+// whether peer was an active member. The caller owns the wire-level
+// notification of the demoted peer.
+func (n *Node) DemoteActive(peer id.ID) bool {
+	if !n.active.Remove(peer) {
+		return false
+	}
+	n.env.Unwatch(peer)
+	n.stats.ActiveDemotions++
+	n.notifyDown(peer, DownEvicted)
+	n.addPassive(peer)
+	// The active view changed; stale repair bookkeeping no longer applies.
+	n.resetRepairEpisode()
+	return true
+}
+
+// ActiveFull reports whether the active view is at capacity. Optimizers only
+// trade links on saturated views, so a swap can never eat into a view that
+// reactive repair is still filling.
+func (n *Node) ActiveFull() bool { return n.active.Full() }

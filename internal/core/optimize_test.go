@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+)
+
+func TestPromoteActiveAddsAndWatches(t *testing.T) {
+	n, env := newTestNode(1)
+	if !n.PromoteActive(2) {
+		t.Fatal("PromoteActive(2) = false on empty view")
+	}
+	if !n.ActiveContains(2) {
+		t.Fatal("peer not in active view after promotion")
+	}
+	if !env.watched[2] {
+		t.Error("promoted peer not watched (no failure detection)")
+	}
+	if n.PromoteActive(2) {
+		t.Error("re-promoting an active member reported a change")
+	}
+	if n.PromoteActive(1) || n.PromoteActive(id.Nil) {
+		t.Error("self/nil promotion accepted")
+	}
+}
+
+func TestPromoteActiveRemovesFromPassive(t *testing.T) {
+	n, _ := newTestNode(1)
+	n.addPassive(7)
+	if !n.PromoteActive(7) {
+		t.Fatal("promotion failed")
+	}
+	if n.PassiveContains(7) {
+		t.Error("views not disjoint after promotion")
+	}
+}
+
+func TestDemoteActiveMovesToPassiveSilently(t *testing.T) {
+	n, env := newTestNode(1)
+	n.PromoteActive(2)
+	n.PromoteActive(3)
+	env.take()
+	if !n.DemoteActive(2) {
+		t.Fatal("DemoteActive(2) = false for an active member")
+	}
+	if n.ActiveContains(2) {
+		t.Error("peer still active after demotion")
+	}
+	if !n.PassiveContains(2) {
+		t.Error("demoted peer not kept as a passive backup")
+	}
+	if env.watched[2] {
+		t.Error("demoted peer still watched")
+	}
+	for _, s := range env.take() {
+		if s.m.Type == msg.Disconnect {
+			t.Error("DemoteActive sent a DISCONNECT; the optimizer owns the notification")
+		}
+		if s.m.Type == msg.Neighbor {
+			t.Error("DemoteActive started a repair promotion")
+		}
+	}
+	if n.DemoteActive(99) {
+		t.Error("demoting a non-member reported a change")
+	}
+}
+
+func TestDemoteActiveFiresListener(t *testing.T) {
+	n, _ := newTestNode(1)
+	var gotPeer id.ID
+	var gotReason DownReason
+	n.SetListener(Listener{NeighborDown: func(p id.ID, r DownReason) {
+		gotPeer, gotReason = p, r
+	}})
+	n.PromoteActive(2)
+	n.DemoteActive(2)
+	if gotPeer != 2 || gotReason != DownEvicted {
+		t.Errorf("listener got (%v, %v), want (2, evicted)", gotPeer, gotReason)
+	}
+}
+
+func TestActiveFull(t *testing.T) {
+	n, _ := newTestNode(1)
+	if n.ActiveFull() {
+		t.Fatal("empty view reported full")
+	}
+	for i := id.ID(2); !n.ActiveFull(); i++ {
+		n.PromoteActive(i)
+	}
+	if got := len(n.Active()); got != n.Config().ActiveSize {
+		t.Errorf("full at %d members, capacity %d", got, n.Config().ActiveSize)
+	}
+}

@@ -38,6 +38,14 @@ func sampleMessages() []Message {
 		{Type: PlumtreeIHave, Sender: 21, Round: 77, Hops: 3},
 		{Type: PlumtreeGraft, Sender: 22, Round: 77, Accept: true},
 		{Type: PlumtreePrune, Sender: 23},
+		{Type: XBotOptimization, Sender: 24, Subject: 25, CostOld: 812, CostNew: 97},
+		{Type: XBotOptimizationReply, Sender: 25, Subject: 26, Accept: true},
+		{Type: XBotOptimizationReply, Sender: 25, Subject: 26, Accept: false},
+		{Type: XBotReplace, Sender: 26, Subject: 25, Nodes: []id.ID{24}, CostOld: 812, CostNew: 97},
+		{Type: XBotReplaceReply, Sender: 27, Subject: 24, Accept: true},
+		{Type: XBotSwitch, Sender: 27, Subject: 24, Nodes: []id.ID{26}},
+		{Type: XBotSwitchReply, Sender: 25, Subject: 24, Accept: true},
+		{Type: XBotDisconnectWait, Sender: 28},
 	}
 }
 
@@ -123,9 +131,9 @@ func TestDecodeErrors(t *testing.T) {
 func TestDecodeRejectsHugeLists(t *testing.T) {
 	m := Message{Type: Shuffle, Sender: 1, Nodes: []id.ID{1}}
 	buf := Encode(m)
-	// Nodes count lives right after the 30-byte fixed header; forge it.
-	buf[30] = 0xff
-	buf[31] = 0xff
+	// Nodes count lives right after the 46-byte fixed header; forge it.
+	buf[46] = 0xff
+	buf[47] = 0xff
 	if _, _, err := Decode(buf); err == nil {
 		t.Error("Decode accepted forged 65535-node list")
 	}
@@ -145,7 +153,10 @@ func quickMessage(r *rand.Rand) Message {
 	types := []Type{Join, ForwardJoin, Disconnect, Neighbor, NeighborReply,
 		Shuffle, ShuffleReply, Gossip, GossipAck, CyclonShuffle,
 		CyclonShuffleReply, CyclonJoinWalk, ScampSubscribe, ScampForwardSub,
-		ScampKept, ScampUnsubscribe, ScampHeartbeat}
+		ScampKept, ScampUnsubscribe, ScampHeartbeat, PlumtreeGossip,
+		PlumtreeIHave, PlumtreeGraft, PlumtreePrune, XBotOptimization,
+		XBotOptimizationReply, XBotReplace, XBotReplaceReply, XBotSwitch,
+		XBotSwitchReply, XBotDisconnectWait}
 	m := Message{
 		Type:     types[r.Intn(len(types))],
 		Sender:   id.ID(r.Uint64()),
@@ -155,6 +166,8 @@ func quickMessage(r *rand.Rand) Message {
 		Accept:   r.Intn(2) == 0,
 		Round:    r.Uint64(),
 		Hops:     uint16(r.Intn(1 << 16)),
+		CostOld:  r.Uint64(),
+		CostNew:  r.Uint64(),
 	}
 	for i := r.Intn(10); i > 0; i-- {
 		m.Nodes = append(m.Nodes, id.ID(r.Uint64()))

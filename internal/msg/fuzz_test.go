@@ -24,6 +24,18 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(Message{Type: PlumtreeGraft, Sender: 4, Round: 9, Accept: true}))
 	f.Add(Encode(Message{Type: PlumtreeGraft, Sender: 5, Accept: false}))
 	f.Add(Encode(Message{Type: PlumtreePrune, Sender: 6}))
+	// The X-BOT 4-node swap handshake, in protocol order: the initiator's
+	// proposal with both measured costs, the candidate's delegation to the
+	// node it would evict (costs relayed, initiator in Nodes), the switch
+	// negotiation with the initiator's old neighbor, the three replies, and
+	// the failure-free link teardown.
+	f.Add(Encode(Message{Type: XBotOptimization, Sender: 1, Subject: 2, CostOld: 500, CostNew: 40}))
+	f.Add(Encode(Message{Type: XBotReplace, Sender: 3, Subject: 2, Nodes: []id.ID{1}, CostOld: 500, CostNew: 40}))
+	f.Add(Encode(Message{Type: XBotSwitch, Sender: 4, Subject: 1, Nodes: []id.ID{3}}))
+	f.Add(Encode(Message{Type: XBotSwitchReply, Sender: 2, Subject: 1, Accept: true}))
+	f.Add(Encode(Message{Type: XBotReplaceReply, Sender: 4, Subject: 1, Accept: true}))
+	f.Add(Encode(Message{Type: XBotOptimizationReply, Sender: 3, Subject: 2, Accept: false}))
+	f.Add(Encode(Message{Type: XBotDisconnectWait, Sender: 2}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {

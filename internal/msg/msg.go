@@ -50,6 +50,22 @@ const (
 	PlumtreeGraft
 	PlumtreePrune
 
+	// X-BOT overlay optimization (Leitão, Marques, Pereira, Rodrigues —
+	// "X-BOT: A Protocol for Resilient Optimization of Unstructured
+	// Overlays", SRDS 2009): the 4-node coordinated swap handshake that
+	// rewires HyParView's active views toward low-cost links. The initiator
+	// asks a candidate to take the place of an expensive neighbor
+	// (OPTIMIZATION); a full candidate delegates to the neighbor it would
+	// evict (REPLACE), which negotiates with the initiator's old neighbor
+	// (SWITCH); DISCONNECTWAIT closes a link without signalling failure.
+	XBotOptimization
+	XBotOptimizationReply
+	XBotReplace
+	XBotReplaceReply
+	XBotSwitch
+	XBotSwitchReply
+	XBotDisconnectWait
+
 	maxType
 )
 
@@ -75,6 +91,14 @@ var typeNames = [...]string{
 	PlumtreeIHave:      "PLUMTREEIHAVE",
 	PlumtreeGraft:      "PLUMTREEGRAFT",
 	PlumtreePrune:      "PLUMTREEPRUNE",
+
+	XBotOptimization:      "XBOTOPTIMIZATION",
+	XBotOptimizationReply: "XBOTOPTIMIZATIONREPLY",
+	XBotReplace:           "XBOTREPLACE",
+	XBotReplaceReply:      "XBOTREPLACEREPLY",
+	XBotSwitch:            "XBOTSWITCH",
+	XBotSwitchReply:       "XBOTSWITCHREPLY",
+	XBotDisconnectWait:    "XBOTDISCONNECTWAIT",
 }
 
 // String returns the conventional upper-case name of the message type.
@@ -152,6 +176,15 @@ type Message struct {
 	// Hops counts overlay hops travelled by a GOSSIP message, used by the
 	// evaluation to reproduce Table 1's "maximum hops to delivery".
 	Hops uint16
+
+	// CostOld and CostNew carry the link costs measured by an X-BOT
+	// optimization initiator: the cost of the active link it wants to drop
+	// (initiator–old neighbor) and of the link it wants to create
+	// (initiator–candidate). They ride on XBOTOPTIMIZATION and are relayed
+	// by XBOTREPLACE so the disconnected node can evaluate the 4-node swap
+	// condition with only locally measurable additions.
+	CostOld uint64
+	CostNew uint64
 
 	// Payload is the opaque application payload of a GOSSIP message.
 	Payload []byte

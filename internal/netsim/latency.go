@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"hyparview/internal/id"
+	"hyparview/internal/rng"
+)
+
+// LatencyModel describes the link latencies of a simulated network. It serves
+// two consumers at once:
+//
+//   - The simulator's event-driven mode: Delay matches the Sim.Latency
+//     signature, so installing a model is `sim.Latency = model.Delay`.
+//   - Topology-aware optimizers (internal/xbot): Cost is the deterministic
+//     base latency of a link with jitter stripped, i.e. what a node would
+//     measure by averaging round-trip probes. It is the canonical cost
+//     oracle for the X-BOT experiments.
+//
+// Models are pure functions of (model parameters, node identifiers): they
+// keep no per-node state, so any two components — or two separate Sim
+// instances — observing the same model agree on every link cost regardless
+// of construction or join order. All models are symmetric:
+// Cost(a,b) == Cost(b,a).
+type LatencyModel interface {
+	// Delay returns the virtual-time delay of one message from->to in
+	// abstract ticks, possibly adding jitter drawn from r. Self-addressed
+	// messages (timers) get a minimal delay of 1 tick.
+	Delay(from, to id.ID, r *rng.Rand) uint64
+
+	// Cost returns the deterministic base cost of the undirected link {a,b}:
+	// the Delay with jitter removed.
+	Cost(a, b id.ID) uint64
+
+	// Name identifies the model in tables and CLI flags.
+	Name() string
+}
+
+// mix64 is splitmix64's finalizer: a fast, well-distributed 64-bit hash used
+// to derive per-node virtual coordinates from (seed, id) pairs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitCoord hashes (seed, key, axis) to a coordinate in [0, 1).
+func unitCoord(seed, key, axis uint64) float64 {
+	h := mix64(seed ^ mix64(key^axis*0x9e3779b97f4a7c15))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// jittered adds a uniform random jitter in [0, jitter] to base.
+func jittered(base, jitter uint64, r *rng.Rand) uint64 {
+	if jitter == 0 || r == nil {
+		return base
+	}
+	return base + r.Uint64n(jitter+1)
+}
+
+// Uniform is the degenerate latency model: every link costs Base ticks, so
+// event-driven runs reproduce FIFO-mode results up to delivery interleaving.
+// It exists as the control arm of latency experiments: an optimizer must
+// measure zero improvement under it.
+type Uniform struct {
+	// Base is the cost of every link. Default (via NewUniform): 50.
+	Base uint64
+	// Jitter is the maximum uniform extra delay added per message.
+	Jitter uint64
+}
+
+// NewUniform returns a uniform model with base cost 50 and no jitter.
+func NewUniform() *Uniform { return &Uniform{Base: 50} }
+
+// Delay implements LatencyModel.
+func (u *Uniform) Delay(from, to id.ID, r *rng.Rand) uint64 {
+	if from == to {
+		return 1
+	}
+	return jittered(u.Base, u.Jitter, r)
+}
+
+// Cost implements LatencyModel.
+func (u *Uniform) Cost(a, b id.ID) uint64 {
+	if a == b {
+		return 0
+	}
+	return u.Base
+}
+
+// Name implements LatencyModel.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Euclidean places every node at virtual coordinates on the unit square
+// (hashed from the seed and the node identifier, as in Vivaldi-style network
+// coordinate systems) and charges the Euclidean distance, scaled and offset:
+//
+//	cost(a,b) = Min + Scale * dist(coord(a), coord(b))
+//
+// The mean cost of a uniformly random link is ≈ Min + 0.5214*Scale, while
+// nearby nodes cost ≈ Min, giving topology optimizers a wide spread to
+// exploit. This is the default model of the X-BOT experiments.
+type Euclidean struct {
+	// Seed drives the coordinate hashing.
+	Seed uint64
+	// Scale multiplies the unit-square distance. Default (NewEuclidean): 1000.
+	Scale uint64
+	// Min is the floor cost of any link (serialization/stack overhead).
+	// Default (NewEuclidean): 10.
+	Min uint64
+	// Jitter is the maximum uniform extra delay added per message.
+	Jitter uint64
+}
+
+// NewEuclidean returns a Euclidean model with Scale 1000 and Min 10.
+func NewEuclidean(seed uint64) *Euclidean {
+	return &Euclidean{Seed: seed, Scale: 1000, Min: 10}
+}
+
+// coord returns the node's virtual (x, y) position on the unit square.
+func (e *Euclidean) coord(n id.ID) (x, y float64) {
+	return unitCoord(e.Seed, uint64(n), 1), unitCoord(e.Seed, uint64(n), 2)
+}
+
+// Delay implements LatencyModel.
+func (e *Euclidean) Delay(from, to id.ID, r *rng.Rand) uint64 {
+	if from == to {
+		return 1
+	}
+	return jittered(e.Cost(from, to), e.Jitter, r)
+}
+
+// Cost implements LatencyModel.
+func (e *Euclidean) Cost(a, b id.ID) uint64 {
+	if a == b {
+		return 0
+	}
+	ax, ay := e.coord(a)
+	bx, by := e.coord(b)
+	d := math.Hypot(ax-bx, ay-by)
+	return e.Min + uint64(d*float64(e.Scale))
+}
+
+// Name implements LatencyModel.
+func (e *Euclidean) Name() string { return "euclidean" }
+
+// TransitStub models the classic two-tier internet topology (GT-ITM): nodes
+// hash into one of Clusters stub domains, each attached to a transit router
+// placed on the unit square. Intra-cluster traffic pays only the stub access
+// cost; inter-cluster traffic additionally crosses the transit backbone:
+//
+//	same cluster:      2*Stub
+//	different cluster: 2*Stub + Backbone + Scale * dist(center_a, center_b)
+//
+// The bimodal cost distribution (cheap local links, expensive long-haul
+// links) is the regime where locality-aware overlay optimization pays off
+// most, and the model the X-BOT evaluation emphasises.
+type TransitStub struct {
+	// Seed drives cluster assignment and transit-router placement.
+	Seed uint64
+	// Clusters is the number of stub domains. Default (NewTransitStub): 10.
+	Clusters int
+	// Stub is the one-way stub access cost. Default: 5.
+	Stub uint64
+	// Backbone is the fixed cost of entering the transit backbone. Default: 50.
+	Backbone uint64
+	// Scale multiplies the unit-square distance between transit routers.
+	// Default: 400.
+	Scale uint64
+	// Jitter is the maximum uniform extra delay added per message.
+	Jitter uint64
+}
+
+// NewTransitStub returns a transit-stub model with clusters stub domains and
+// the defaults documented on the struct fields.
+func NewTransitStub(seed uint64, clusters int) *TransitStub {
+	if clusters <= 0 {
+		clusters = 10
+	}
+	return &TransitStub{Seed: seed, Clusters: clusters, Stub: 5, Backbone: 50, Scale: 400}
+}
+
+// cluster returns the stub domain of node n.
+func (t *TransitStub) cluster(n id.ID) uint64 {
+	return mix64(t.Seed^mix64(uint64(n))) % uint64(t.Clusters)
+}
+
+// Delay implements LatencyModel.
+func (t *TransitStub) Delay(from, to id.ID, r *rng.Rand) uint64 {
+	if from == to {
+		return 1
+	}
+	return jittered(t.Cost(from, to), t.Jitter, r)
+}
+
+// Cost implements LatencyModel.
+func (t *TransitStub) Cost(a, b id.ID) uint64 {
+	if a == b {
+		return 0
+	}
+	ca, cb := t.cluster(a), t.cluster(b)
+	if ca == cb {
+		return 2 * t.Stub
+	}
+	ax := unitCoord(t.Seed, ca, 3)
+	ay := unitCoord(t.Seed, ca, 4)
+	bx := unitCoord(t.Seed, cb, 3)
+	by := unitCoord(t.Seed, cb, 4)
+	d := math.Hypot(ax-bx, ay-by)
+	return 2*t.Stub + t.Backbone + uint64(d*float64(t.Scale))
+}
+
+// Name implements LatencyModel.
+func (t *TransitStub) Name() string { return "transit-stub" }
+
+// ParseLatencyModel maps a CLI flag value to a model seeded with seed:
+// "none"/"" (nil model, FIFO mode), "uniform", "euclidean", "transit" (or
+// "transit-stub"). Unknown names return an error listing the options.
+func ParseLatencyModel(name string, seed uint64) (LatencyModel, error) {
+	switch name {
+	case "", "none", "fifo":
+		return nil, nil
+	case "uniform":
+		return NewUniform(), nil
+	case "euclidean":
+		return NewEuclidean(seed), nil
+	case "transit", "transit-stub":
+		return NewTransitStub(seed, 10), nil
+	default:
+		return nil, fmt.Errorf("unknown latency model %q (want none, uniform, euclidean or transit)", name)
+	}
+}

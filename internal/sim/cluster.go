@@ -24,6 +24,7 @@ import (
 	"hyparview/internal/plumtree"
 	"hyparview/internal/rng"
 	"hyparview/internal/scamp"
+	"hyparview/internal/xbot"
 )
 
 // Protocol selects the membership protocol under test.
@@ -85,6 +86,32 @@ func (b BroadcastProtocol) String() string {
 	}
 }
 
+// Optimizer selects an overlay optimization layer running alongside the
+// membership protocol.
+type Optimizer int
+
+// The optimization layers.
+const (
+	// OptimizerNone leaves the overlay oblivious, as the paper builds it.
+	OptimizerNone Optimizer = iota
+	// OptimizerXBot runs the X-BOT 4-node coordinated swap protocol (SRDS
+	// 2009) on every node, biasing active views toward low-cost links as
+	// measured by the cluster's latency model. HyParView only.
+	OptimizerXBot
+)
+
+// String names the optimizer.
+func (o Optimizer) String() string {
+	switch o {
+	case OptimizerNone:
+		return "none"
+	case OptimizerXBot:
+		return "xbot"
+	default:
+		return fmt.Sprintf("Optimizer(%d)", int(o))
+	}
+}
+
 // Options configures a cluster build.
 type Options struct {
 	// N is the cluster size (paper: 10,000).
@@ -111,10 +138,33 @@ type Options struct {
 	// per node (by join index): the hook behind the heterogeneous-degree
 	// extension experiment (paper §6 future work).
 	ConfigureHyParView func(i int, cfg core.Config) core.Config
-	// Latency, when set, installs a virtual-time latency model on the
+	// Latency, when set, installs a raw virtual-time latency function on the
 	// simulator (see netsim.Sim.Latency). The paper's experiments measure
-	// hops and run in the default FIFO mode.
+	// hops and run in the default FIFO mode. Prefer LatencyModel, which also
+	// provides the cost oracle and per-link metrics; when both are set the
+	// explicit function wins for message timing.
 	Latency func(from, to id.ID, r *rng.Rand) uint64
+	// LatencyModel, when set, switches the simulator to event-driven virtual
+	// time with the model's per-link delays, enables virtual-time delivery
+	// latency in MeasureBurst and per-link cost metrics, and serves as the
+	// cost oracle for Optimizer layers.
+	LatencyModel netsim.LatencyModel
+	// Optimizer runs an overlay optimization layer on every node. X-BOT
+	// needs HyParView's symmetric reciprocal views: HyParView clusters run
+	// it, the peer-sampling baselines ignore the option so protocol-sweep
+	// experiments stay runnable under one option set. When no LatencyModel
+	// is set, a Euclidean model seeded with Seed is installed so the
+	// optimizer has a non-trivial cost surface.
+	Optimizer Optimizer
+	// XBot overrides X-BOT parameters when Optimizer is OptimizerXBot; zero
+	// fields take the protocol's defaults.
+	XBot xbot.Config
+	// Oracle overrides the optimizer's link-cost source. Default: the
+	// cluster's LatencyModel, so optimization minimizes exactly what the
+	// simulated network charges; a custom oracle decouples the two (e.g. a
+	// monetary cost surface over a latency-simulated network, or running
+	// the optimizer in FIFO mode with no latency model at all).
+	Oracle xbot.Oracle
 	// StabilizationCycles is used by Stabilize callers that take the
 	// default (paper: 50).
 	StabilizationCycles int
@@ -134,6 +184,9 @@ func (o Options) withDefaults() Options {
 	if o.StabilizationCycles == 0 {
 		o.StabilizationCycles = 50
 	}
+	if o.Optimizer != OptimizerNone && o.LatencyModel == nil && o.Oracle == nil {
+		o.LatencyModel = netsim.NewEuclidean(o.Seed)
+	}
 	return o
 }
 
@@ -148,6 +201,20 @@ type Cluster struct {
 	ids        []id.ID
 	gossipers  map[id.ID]gossip.Broadcaster
 	membership map[id.ID]peer.Membership
+
+	// Virtual-time delivery tracking: per in-flight round, the clock at
+	// broadcast time and the delivery-latency aggregate. Only populated when
+	// the simulator runs in latency mode.
+	timed      bool
+	roundStart map[uint64]uint64
+	roundLat   map[uint64]*latencyAgg
+}
+
+// latencyAgg aggregates the virtual-time delivery latencies of one round.
+type latencyAgg struct {
+	max uint64
+	sum uint64
+	n   int
 }
 
 // NewCluster builds a cluster of opts.N nodes running proto, joined one by
@@ -161,8 +228,16 @@ func NewCluster(proto Protocol, opts Options) *Cluster {
 		Tracker:    gossip.NewTracker(),
 		gossipers:  make(map[id.ID]gossip.Broadcaster, opts.N),
 		membership: make(map[id.ID]peer.Membership, opts.N),
+		roundStart: make(map[uint64]uint64),
+		roundLat:   make(map[uint64]*latencyAgg),
 	}
-	c.Sim.Latency = opts.Latency
+	switch {
+	case opts.Latency != nil:
+		c.Sim.Latency = opts.Latency
+	case opts.LatencyModel != nil:
+		c.Sim.Latency = opts.LatencyModel.Delay
+	}
+	c.timed = c.Sim.Latency != nil
 	for i := 0; i < opts.N; i++ {
 		nodeID := id.ID(i + 1)
 		c.ids = append(c.ids, nodeID)
@@ -201,7 +276,17 @@ func (c *Cluster) newMembership(env peer.Env, i int) peer.Membership {
 		if c.Opts.ConfigureHyParView != nil {
 			cfg = c.Opts.ConfigureHyParView(i, cfg.WithDefaults())
 		}
-		return core.New(env, cfg)
+		hv := core.New(env, cfg)
+		if c.Opts.Optimizer == OptimizerXBot {
+			// By default the latency model doubles as the cost oracle: its
+			// Cost strips jitter, modelling a node averaging RTT probes.
+			oracle := c.Opts.Oracle
+			if oracle == nil {
+				oracle = c.Opts.LatencyModel
+			}
+			return xbot.New(env, hv, c.Opts.XBot, oracle)
+		}
+		return hv
 	case Cyclon:
 		cfg := c.Opts.Cyclon
 		cfg.DetectFailures = false
@@ -244,9 +329,53 @@ func (c *Cluster) newBroadcaster(env peer.Env, m peer.Membership) gossip.Broadca
 		if c.Protocol == HyParView || c.Protocol == CyclonAcked {
 			pcfg.ReportPeerDown = true
 		}
-		return plumtree.New(env, m, pcfg, c.Tracker.Deliver)
+		return plumtree.New(env, m, pcfg, c.deliver)
 	}
-	return gossip.New(env, m, c.gossipConfig(), c.Tracker.Deliver)
+	return gossip.New(env, m, c.gossipConfig(), c.deliver)
+}
+
+// deliver is the Delivery callback installed on every broadcaster: it feeds
+// the reliability tracker and, in latency mode, aggregates virtual-time
+// delivery latencies for rounds the harness is measuring.
+func (c *Cluster) deliver(round uint64, payload []byte, hops int) {
+	if c.timed {
+		if start, ok := c.roundStart[round]; ok {
+			lat := c.Sim.Now() - start
+			agg := c.roundLat[round]
+			if agg == nil {
+				agg = &latencyAgg{}
+				c.roundLat[round] = agg
+			}
+			if lat > agg.max {
+				agg.max = lat
+			}
+			agg.sum += lat
+			agg.n++
+		}
+	}
+	c.Tracker.Deliver(round, payload, hops)
+}
+
+// beginRound marks a measured broadcast's start on the virtual clock.
+func (c *Cluster) beginRound(round uint64) {
+	if c.timed {
+		c.roundStart[round] = c.Sim.Now()
+	}
+}
+
+// endRound returns the virtual-time latency of the round's last and average
+// delivery (zero in FIFO mode) and releases the tracking state.
+func (c *Cluster) endRound(round uint64) (maxLat, avgLat float64) {
+	if !c.timed {
+		return 0, 0
+	}
+	delete(c.roundStart, round)
+	agg := c.roundLat[round]
+	delete(c.roundLat, round)
+	if agg == nil || agg.n == 0 {
+		return 0, 0
+	}
+	return float64(agg.max), float64(agg.sum) / float64(agg.n)
 }
 
 // Stabilize runs the given number of membership cycles (paper: 50) over the
@@ -274,20 +403,33 @@ func (c *Cluster) FailFraction(frac float64) int {
 	return k
 }
 
+// broadcastMeasured sends one broadcast from a uniformly random live node,
+// fully processes the resulting traffic, and returns reliability, hop
+// statistics and — in latency mode — the virtual-time latency of the last
+// and average delivery.
+func (c *Cluster) broadcastMeasured() (rel float64, maxHops int, avgHops, maxLat, avgLat float64) {
+	alive := c.Sim.AliveIDs()
+	if len(alive) == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	source := alive[c.Sim.Rand().Intn(len(alive))]
+	round := c.Tracker.NextRound()
+	c.beginRound(round)
+	c.gossipers[source].Broadcast(round, nil)
+	c.Sim.Drain()
+	rel = c.Tracker.Reliability(round, len(alive))
+	maxHops = c.Tracker.MaxHops(round)
+	avgHops = c.Tracker.AvgHops(round)
+	c.Tracker.Forget(round)
+	maxLat, avgLat = c.endRound(round)
+	return rel, maxHops, avgHops, maxLat, avgLat
+}
+
 // Broadcast sends one broadcast from a uniformly random live node, fully
 // processes the resulting traffic, and returns the message's reliability:
 // the fraction of live nodes that delivered it (paper §2.5).
 func (c *Cluster) Broadcast() float64 {
-	alive := c.Sim.AliveIDs()
-	if len(alive) == 0 {
-		return 0
-	}
-	source := alive[c.Sim.Rand().Intn(len(alive))]
-	round := c.Tracker.NextRound()
-	c.gossipers[source].Broadcast(round, nil)
-	c.Sim.Drain()
-	rel := c.Tracker.Reliability(round, len(alive))
-	c.Tracker.Forget(round)
+	rel, _, _, _, _ := c.broadcastMeasured()
 	return rel
 }
 
@@ -295,18 +437,7 @@ func (c *Cluster) Broadcast() float64 {
 // reliability, the maximum hop count and the average hop count of the
 // deliveries.
 func (c *Cluster) BroadcastDetailed() (rel float64, maxHops int, avgHops float64) {
-	alive := c.Sim.AliveIDs()
-	if len(alive) == 0 {
-		return 0, 0, 0
-	}
-	source := alive[c.Sim.Rand().Intn(len(alive))]
-	round := c.Tracker.NextRound()
-	c.gossipers[source].Broadcast(round, nil)
-	c.Sim.Drain()
-	rel = c.Tracker.Reliability(round, len(alive))
-	maxHops = c.Tracker.MaxHops(round)
-	avgHops = c.Tracker.AvgHops(round)
-	c.Tracker.Forget(round)
+	rel, maxHops, avgHops, _, _ = c.broadcastMeasured()
 	return rel, maxHops, avgHops
 }
 
@@ -372,6 +503,12 @@ type BurstStats struct {
 	// MeanMaxHops averages the per-message last-delivery hop count, the
 	// paper's Table 1 latency proxy.
 	MeanMaxHops float64
+	// MeanMaxLatency and MeanAvgLatency average, over the burst, the
+	// virtual-time (abstract ticks) latency of each message's last and mean
+	// delivery. They are the wall-clock analogue of the hop metrics and stay
+	// zero in FIFO mode (no latency model installed).
+	MeanMaxLatency float64
+	MeanAvgLatency float64
 }
 
 // MeasureBurst sends msgs broadcasts back to back from random live nodes
@@ -384,11 +521,13 @@ func (c *Cluster) MeasureBurst(msgs int) BurstStats {
 	}
 	d0, dup0, _, _ := c.CounterTotals()
 	var rels []float64
-	var sumMaxHops float64
+	var sumMaxHops, sumMaxLat, sumAvgLat float64
 	for i := 0; i < msgs; i++ {
-		rel, maxHops, _ := c.BroadcastDetailed()
+		rel, maxHops, _, maxLat, avgLat := c.broadcastMeasured()
 		rels = append(rels, rel)
 		sumMaxHops += float64(maxHops)
+		sumMaxLat += maxLat
+		sumAvgLat += avgLat
 	}
 	d1, dup1, _, _ := c.CounterTotals()
 	delivered := float64(d1 - d0) // includes the msgs source-local deliveries
@@ -400,7 +539,32 @@ func (c *Cluster) MeasureBurst(msgs int) BurstStats {
 	out.MeanReliability = metrics.Mean(rels)
 	out.FinalReliability = rels[len(rels)-1]
 	out.MeanMaxHops = sumMaxHops / k
+	out.MeanMaxLatency = sumMaxLat / k
+	out.MeanAvgLatency = sumAvgLat / k
 	return out
+}
+
+// ActiveLinkCosts returns the latency-model cost of every directed overlay
+// link of the live population, in deterministic (join, view) order. It
+// returns nil when the cluster has no latency model.
+func (c *Cluster) ActiveLinkCosts() []float64 {
+	model := c.Opts.LatencyModel
+	if model == nil {
+		return nil
+	}
+	var out []float64
+	for _, nodeID := range c.Sim.AliveIDs() {
+		for _, p := range c.membership[nodeID].Neighbors() {
+			out = append(out, float64(model.Cost(nodeID, p)))
+		}
+	}
+	return out
+}
+
+// MeanActiveLinkCost averages the latency-model cost over every directed
+// overlay link: the quantity X-BOT minimizes. Zero without a latency model.
+func (c *Cluster) MeanActiveLinkCost() float64 {
+	return metrics.Mean(c.ActiveLinkCosts())
 }
 
 // IDs returns the full population (live and failed) in join order.

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"testing"
+
+	"hyparview/internal/plumtree"
 )
 
 func TestOverheadShape(t *testing.T) {
@@ -112,6 +114,58 @@ func TestHeterogeneousDegreesShape(t *testing.T) {
 	}
 	if conn := tbl.Rows[0][5]; conn != "true" {
 		t.Error("heterogeneous overlay disconnected")
+	}
+}
+
+// TestChurnUnderPlumtree runs the sustained-churn extension with the tree
+// broadcast layer: lazy IHAVE links and graft repair must keep HyParView's
+// reliability through continuous membership turnover, not just through the
+// one-shot failures the dedicated Plumtree tests exercise.
+func TestChurnUnderPlumtree(t *testing.T) {
+	results, tbl := Churn(Options{
+		N: 300, Seed: 13, StabilizationCycles: 20, Broadcast: BroadcastPlumtree,
+	}, 2.0, 8, 3)
+	byProto := map[Protocol]ChurnResult{}
+	for _, r := range results {
+		byProto[r.Protocol] = r
+	}
+	hv := byProto[HyParView]
+	if hv.MeanReliability < 0.98 {
+		t.Errorf("HyParView+Plumtree mean reliability under churn = %.4f, want >= 0.98",
+			hv.MeanReliability)
+	}
+	if hv.FinalConnected < 0.99 {
+		t.Errorf("HyParView+Plumtree overlay degraded under churn: lcc = %.3f", hv.FinalConnected)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("table rows = %d", len(tbl.Rows))
+	}
+	// The joiners added mid-churn must have been built as Plumtree nodes.
+	c := NewCluster(HyParView, Options{N: 50, Seed: 1, Broadcast: BroadcastPlumtree})
+	c.addNode(500, 1)
+	if _, ok := c.Gossiper(500).(*plumtree.Node); !ok {
+		t.Errorf("churn joiner broadcaster is %T, want *plumtree.Node", c.Gossiper(500))
+	}
+}
+
+// TestPartitionHealUnderPlumtree runs the partition/heal extension over the
+// tree broadcast: each side's tree must re-form against its side's repaired
+// overlay and deliver side-locally at full reliability.
+func TestPartitionHealUnderPlumtree(t *testing.T) {
+	res, tbl := PartitionHeal(Options{
+		N: 400, Seed: 17, StabilizationCycles: 30, Broadcast: BroadcastPlumtree,
+	}, 0.3, 3, 5)
+	if !res.SidesConnected {
+		t.Error("partition sides did not re-form internally connected overlays under Plumtree")
+	}
+	if res.SideReliability < 0.99 {
+		t.Errorf("minority-side reliability under Plumtree = %.3f, want ≈1", res.SideReliability)
+	}
+	if res.MergedLCC < 0.65 {
+		t.Errorf("post-heal largest component = %.3f, implausibly small", res.MergedLCC)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Errorf("table rows = %d", len(tbl.Rows))
 	}
 }
 

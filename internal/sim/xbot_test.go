@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hyparview/internal/id"
+	"hyparview/internal/netsim"
+	"hyparview/internal/xbot"
+)
+
+// TestObliviousVsXBotAtScale is the headline X-BOT acceptance test: at
+// N=1000 under the Euclidean latency model, the optimized overlay must cut
+// the mean active-link cost by at least 30% without losing broadcast
+// reliability, node degrees, symmetry or connectivity.
+func TestObliviousVsXBotAtScale(t *testing.T) {
+	results, _ := ObliviousVsXBot(Options{N: 1000, Seed: 5}, 20)
+	obl, opt := results[0], results[1]
+
+	if obl.MeanLinkCost <= 0 {
+		t.Fatal("oblivious overlay has no measured links")
+	}
+	if opt.MeanLinkCost > 0.7*obl.MeanLinkCost {
+		t.Errorf("mean link cost %.1f not ≥30%% below oblivious %.1f (%.1f%% reduction)",
+			opt.MeanLinkCost, obl.MeanLinkCost,
+			100*(1-opt.MeanLinkCost/obl.MeanLinkCost))
+	}
+	if opt.MeanReliability < obl.MeanReliability {
+		t.Errorf("optimization cost reliability: %.4f vs oblivious %.4f",
+			opt.MeanReliability, obl.MeanReliability)
+	}
+	if opt.MeanReliability < 1.0 {
+		t.Errorf("optimized overlay reliability = %.4f, want 1.0", opt.MeanReliability)
+	}
+	if math.Abs(opt.MeanDegree-obl.MeanDegree) > 0.02*obl.MeanDegree {
+		t.Errorf("node degrees changed: %.3f vs oblivious %.3f", opt.MeanDegree, obl.MeanDegree)
+	}
+	if opt.Symmetry < obl.Symmetry-0.02 {
+		t.Errorf("symmetry degraded: %.3f vs oblivious %.3f", opt.Symmetry, obl.Symmetry)
+	}
+	if !opt.Connected {
+		t.Error("optimized overlay disconnected")
+	}
+	if opt.SwapsCompleted == 0 {
+		t.Error("no swaps completed; the optimizer never ran")
+	}
+	// Cheaper links must show up as faster broadcasts, not just as a nicer
+	// static metric.
+	if opt.MeanMaxLatency >= obl.MeanMaxLatency {
+		t.Errorf("virtual-time broadcast latency did not improve: %.0f vs %.0f",
+			opt.MeanMaxLatency, obl.MeanMaxLatency)
+	}
+	t.Logf("link cost %.1f -> %.1f (-%.1f%%), vtime latency %.0f -> %.0f, swaps=%d",
+		obl.MeanLinkCost, opt.MeanLinkCost,
+		100*(1-opt.MeanLinkCost/obl.MeanLinkCost),
+		obl.MeanMaxLatency, opt.MeanMaxLatency, opt.SwapsCompleted)
+}
+
+// TestXBotUnderTransitStub checks the optimizer exploits a bimodal cost
+// surface: under the two-tier transit-stub model most optimized links should
+// collapse onto cheap intra-cluster paths.
+func TestXBotUnderTransitStub(t *testing.T) {
+	model := netsim.NewTransitStub(7, 10)
+	results, _ := ObliviousVsXBot(Options{N: 600, Seed: 7, LatencyModel: model}, 10)
+	obl, opt := results[0], results[1]
+	if opt.MeanLinkCost > 0.7*obl.MeanLinkCost {
+		t.Errorf("transit-stub: cost %.1f not ≥30%% below %.1f", opt.MeanLinkCost, obl.MeanLinkCost)
+	}
+	if opt.MeanReliability < obl.MeanReliability {
+		t.Errorf("transit-stub: reliability regressed %.4f vs %.4f",
+			opt.MeanReliability, obl.MeanReliability)
+	}
+	if !opt.Connected {
+		t.Error("transit-stub: optimized overlay disconnected")
+	}
+}
+
+// TestXBotNoGainUnderUniformCost pins the control arm: with a flat cost
+// surface there is nothing to optimize, and the optimizer must leave the
+// overlay's properties alone (reliability, degree) rather than churn it.
+func TestXBotNoGainUnderUniformCost(t *testing.T) {
+	model := netsim.NewUniform()
+	results, _ := ObliviousVsXBot(Options{N: 300, Seed: 9, LatencyModel: model}, 10)
+	obl, opt := results[0], results[1]
+	if opt.MeanLinkCost != obl.MeanLinkCost {
+		t.Errorf("uniform model produced a cost delta: %.1f vs %.1f",
+			opt.MeanLinkCost, obl.MeanLinkCost)
+	}
+	if opt.MeanReliability < obl.MeanReliability {
+		t.Errorf("uniform model: reliability regressed %.4f vs %.4f",
+			opt.MeanReliability, obl.MeanReliability)
+	}
+}
+
+// TestXBotOptionPlumbing verifies cluster options reach the optimizer and
+// the defaulted latency model is installed.
+func TestXBotOptionPlumbing(t *testing.T) {
+	c := NewCluster(HyParView, Options{
+		N: 60, Seed: 2, Optimizer: OptimizerXBot,
+		XBot: xbot.Config{Candidates: 5, ProtectTopK: 2},
+	})
+	xn, ok := c.Membership(1).(*xbot.Node)
+	if !ok {
+		t.Fatalf("membership is %T, want *xbot.Node", c.Membership(1))
+	}
+	if xn.Config().Candidates != 5 || xn.Config().ProtectTopK != 2 {
+		t.Errorf("options did not reach the node: %+v", xn.Config())
+	}
+	if c.Opts.LatencyModel == nil {
+		t.Fatal("no latency model auto-installed for the optimizer")
+	}
+	if c.Sim.Latency == nil {
+		t.Fatal("simulator not switched to latency mode")
+	}
+	c.Stabilize(10)
+	if rel := c.Broadcast(); rel != 1.0 {
+		t.Errorf("small optimized cluster reliability = %v", rel)
+	}
+}
+
+// hopOracle charges by identifier distance: a cost surface unrelated to any
+// latency model.
+type hopOracle struct{}
+
+func (hopOracle) Cost(a, b id.ID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(b - a)
+}
+
+// TestXBotCustomOracle checks Options.Oracle decouples the optimizer's cost
+// surface from the latency model: with no model set the cluster stays in
+// FIFO mode while the optimizer still runs against the custom oracle.
+func TestXBotCustomOracle(t *testing.T) {
+	obl := NewCluster(HyParView, Options{N: 300, Seed: 3})
+	opt := NewCluster(HyParView, Options{N: 300, Seed: 3, Optimizer: OptimizerXBot, Oracle: hopOracle{}})
+	if opt.Sim.Latency != nil {
+		t.Fatal("custom oracle should not install a latency model")
+	}
+	if opt.Opts.LatencyModel != nil {
+		t.Fatal("Euclidean default installed despite a custom oracle")
+	}
+	obl.Stabilize(40)
+	opt.Stabilize(40)
+	mean := func(c *Cluster) float64 {
+		var sum float64
+		var links int
+		for _, nodeID := range c.Sim.AliveIDs() {
+			for _, p := range c.Membership(nodeID).Neighbors() {
+				sum += float64(hopOracle{}.Cost(nodeID, p))
+				links++
+			}
+		}
+		return sum / float64(links)
+	}
+	if o, x := mean(obl), mean(opt); x >= 0.8*o {
+		t.Errorf("custom-oracle cost %.1f not clearly below oblivious %.1f", x, o)
+	}
+	if rel := opt.Broadcast(); rel != 1.0 {
+		t.Errorf("reliability = %v under custom-oracle optimization", rel)
+	}
+}
+
+// TestXBotIgnoredByPeerSamplingProtocols pins the sweep-friendly scoping:
+// protocol-sweep experiments run one option set across all four protocols,
+// so the optimizer must apply to HyParView and no-op elsewhere.
+func TestXBotIgnoredByPeerSamplingProtocols(t *testing.T) {
+	c := NewCluster(Cyclon, Options{N: 30, Seed: 1, Optimizer: OptimizerXBot})
+	if _, ok := c.Membership(1).(*xbot.Node); ok {
+		t.Error("Cyclon membership wrapped in an optimizer")
+	}
+	h := NewCluster(HyParView, Options{N: 30, Seed: 1, Optimizer: OptimizerXBot})
+	if _, ok := h.Membership(1).(*xbot.Node); !ok {
+		t.Errorf("HyParView membership is %T, want *xbot.Node", h.Membership(1))
+	}
+}
+
+// TestXBotDeterminism pins seed-reproducibility with the optimizer and the
+// latency model both active.
+func TestXBotDeterminism(t *testing.T) {
+	run := func() (BurstStats, float64) {
+		c := NewCluster(HyParView, Options{N: 200, Seed: 21, Optimizer: OptimizerXBot})
+		c.Stabilize(30)
+		return c.MeasureBurst(10), c.MeanActiveLinkCost()
+	}
+	b1, c1 := run()
+	b2, c2 := run()
+	if b1 != b2 || c1 != c2 {
+		t.Errorf("identical seeds diverged: (%+v, %.3f) vs (%+v, %.3f)", b1, c1, b2, c2)
+	}
+}
+
+// TestMeasureBurstReportsVirtualTime checks the satellite wiring: any
+// cluster with a latency model reports nonzero virtual-time delivery
+// latencies from MeasureBurst, and FIFO clusters keep them at zero.
+func TestMeasureBurstReportsVirtualTime(t *testing.T) {
+	timed := NewCluster(HyParView, Options{N: 150, Seed: 4, LatencyModel: netsim.NewEuclidean(4)})
+	timed.Stabilize(20)
+	stats := timed.MeasureBurst(5)
+	if stats.MeanMaxLatency <= 0 || stats.MeanAvgLatency <= 0 {
+		t.Errorf("latency-mode burst reported zero latency: %+v", stats)
+	}
+	if stats.MeanAvgLatency > stats.MeanMaxLatency {
+		t.Errorf("avg latency %.1f above max %.1f", stats.MeanAvgLatency, stats.MeanMaxLatency)
+	}
+
+	fifo := NewCluster(HyParView, Options{N: 150, Seed: 4})
+	fifo.Stabilize(20)
+	if s := fifo.MeasureBurst(5); s.MeanMaxLatency != 0 || s.MeanAvgLatency != 0 {
+		t.Errorf("FIFO burst reported latencies: %+v", s)
+	}
+}
+
+// TestOptimizerString covers the enum.
+func TestOptimizerString(t *testing.T) {
+	if OptimizerNone.String() != "none" || OptimizerXBot.String() != "xbot" {
+		t.Error("optimizer names wrong")
+	}
+	if Optimizer(9).String() == "" {
+		t.Error("unknown optimizer has empty name")
+	}
+}

@@ -1,0 +1,171 @@
+package xbot_test
+
+// End-to-end tests: X-BOT over real HyParView cores on the deterministic
+// network simulator, measured against an oblivious baseline built from the
+// same seed.
+
+import (
+	"testing"
+
+	"hyparview/internal/core"
+	"hyparview/internal/id"
+	"hyparview/internal/netsim"
+	"hyparview/internal/peer"
+	"hyparview/internal/xbot"
+)
+
+// buildOverlay joins n HyParView nodes one by one through node 1 and runs
+// cycles membership cycles. With optimize set, every node runs an X-BOT
+// layer against the model's cost oracle.
+func buildOverlay(t *testing.T, n, cycles int, seed uint64, optimize bool) (*netsim.Sim, map[id.ID]peer.Membership, *netsim.Euclidean) {
+	t.Helper()
+	s := netsim.New(seed)
+	model := netsim.NewEuclidean(seed)
+	members := make(map[id.ID]peer.Membership, n)
+	for i := 0; i < n; i++ {
+		nodeID := id.ID(i + 1)
+		s.Add(nodeID, func(env peer.Env) peer.Process {
+			var m peer.Membership = core.New(env, core.Config{})
+			if optimize {
+				m = xbot.New(env, m.(*core.Node), xbot.Config{}, model)
+			}
+			members[nodeID] = m
+			return m
+		})
+		if i > 0 {
+			j := members[nodeID].(interface{ Join(id.ID) error })
+			if err := j.Join(1); err != nil {
+				t.Fatalf("join of %v failed: %v", nodeID, err)
+			}
+			s.Drain()
+		}
+	}
+	s.RunCycles(cycles)
+	s.Drain()
+	return s, members, model
+}
+
+// meanLinkCost averages the oracle cost over every directed active link.
+func meanLinkCost(s *netsim.Sim, members map[id.ID]peer.Membership, model *netsim.Euclidean) float64 {
+	var sum float64
+	var links int
+	for _, nodeID := range s.AliveIDs() {
+		for _, p := range members[nodeID].Neighbors() {
+			sum += float64(model.Cost(nodeID, p))
+			links++
+		}
+	}
+	if links == 0 {
+		return 0
+	}
+	return sum / float64(links)
+}
+
+// overlayStats returns the symmetry fraction and the mean out-degree.
+func overlayStats(s *netsim.Sim, members map[id.ID]peer.Membership) (symmetry, meanDegree float64) {
+	neighbors := make(map[id.ID]map[id.ID]bool)
+	var links, symmetric, degreeSum int
+	for _, nodeID := range s.AliveIDs() {
+		set := make(map[id.ID]bool)
+		for _, p := range members[nodeID].Neighbors() {
+			set[p] = true
+		}
+		neighbors[nodeID] = set
+		degreeSum += len(set)
+	}
+	for nodeID, set := range neighbors {
+		for p := range set {
+			links++
+			if back, ok := neighbors[p]; ok && back[nodeID] {
+				symmetric++
+			}
+		}
+	}
+	if links > 0 {
+		symmetry = float64(symmetric) / float64(links)
+	}
+	meanDegree = float64(degreeSum) / float64(len(neighbors))
+	return symmetry, meanDegree
+}
+
+func TestXBotReducesLinkCostOverHyParView(t *testing.T) {
+	const n, cycles, seed = 200, 40, 11
+	sObl, mObl, model := buildOverlay(t, n, cycles, seed, false)
+	sOpt, mOpt, _ := buildOverlay(t, n, cycles, seed, true)
+
+	oblCost := meanLinkCost(sObl, mObl, model)
+	optCost := meanLinkCost(sOpt, mOpt, model)
+	if oblCost <= 0 {
+		t.Fatal("baseline overlay has no links")
+	}
+	if optCost >= 0.7*oblCost {
+		t.Errorf("mean link cost %.1f not ≥30%% below oblivious %.1f", optCost, oblCost)
+	}
+
+	oblSym, oblDeg := overlayStats(sObl, mObl)
+	optSym, optDeg := overlayStats(sOpt, mOpt)
+	if optSym < oblSym-0.02 {
+		t.Errorf("optimization broke symmetry: %.3f vs baseline %.3f", optSym, oblSym)
+	}
+	if optDeg < oblDeg-0.1 || optDeg > oblDeg+0.1 {
+		t.Errorf("optimization changed degrees: %.2f vs baseline %.2f", optDeg, oblDeg)
+	}
+}
+
+func TestXBotSwapActivityObservable(t *testing.T) {
+	s, members, _ := buildOverlay(t, 120, 30, 3, true)
+	var attempts, swaps uint64
+	for _, nodeID := range s.AliveIDs() {
+		xn := members[nodeID].(*xbot.Node)
+		st := xn.Stats()
+		attempts += st.Attempts
+		swaps += st.SwapsCompleted
+	}
+	if attempts == 0 {
+		t.Fatal("no optimization attempts across the whole overlay")
+	}
+	if swaps == 0 {
+		t.Fatal("no completed swaps across the whole overlay")
+	}
+	t.Logf("attempts=%d swaps=%d", attempts, swaps)
+}
+
+func TestXBotDeterministicUnderSeed(t *testing.T) {
+	run := func() (float64, uint64) {
+		s, members, model := buildOverlay(t, 100, 20, 9, true)
+		var swaps uint64
+		for _, nodeID := range s.AliveIDs() {
+			swaps += members[nodeID].(*xbot.Node).Stats().SwapsCompleted
+		}
+		return meanLinkCost(s, members, model), swaps
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Errorf("identical seeds diverged: (%.3f, %d) vs (%.3f, %d)", c1, s1, c2, s2)
+	}
+}
+
+func TestXBotSurvivesMassFailure(t *testing.T) {
+	s, members, _ := buildOverlay(t, 150, 30, 5, true)
+	// Kill 30% of the nodes; the optimizer must not wedge view repair.
+	ids := s.AliveIDs()
+	r := s.Rand()
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, victim := range ids[:len(ids)*30/100] {
+		s.Fail(victim)
+	}
+	s.Drain()
+	s.RunCycles(10)
+	s.Drain()
+	for _, nodeID := range s.AliveIDs() {
+		if len(members[nodeID].Neighbors()) == 0 {
+			t.Errorf("node %v isolated after failures + repair", nodeID)
+		}
+		for _, p := range members[nodeID].Neighbors() {
+			if !s.Alive(p) {
+				t.Errorf("node %v keeps dead neighbor %v", nodeID, p)
+			}
+		}
+	}
+}
