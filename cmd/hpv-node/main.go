@@ -1,14 +1,18 @@
 // Command hpv-node runs a HyParView broadcast node over real TCP: the
-// deployment the paper deferred to future work (§6).
+// deployment the paper deferred to future work (§6), hosting the full
+// protocol stack — HyParView membership, flood or Plumtree broadcast, and
+// optionally the X-BOT overlay optimizer driven by live RTT measurements.
 //
 // Start a contact node, then join others to it and type lines to broadcast:
 //
-//	hpv-node -listen 127.0.0.1:7001
-//	hpv-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001
-//	hpv-node -listen 127.0.0.1:7003 -join 127.0.0.1:7001
+//	hpv-node -listen 127.0.0.1:7001 -broadcast plumtree -optimize
+//	hpv-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001 -broadcast plumtree -optimize
+//	hpv-node -listen 127.0.0.1:7003 -join 127.0.0.1:7001 -broadcast plumtree -optimize
 //
-// Every line read from stdin is flooded over the overlay; received
-// broadcasts and periodic view snapshots are printed to stdout.
+// Every line read from stdin is broadcast over the overlay; received
+// broadcasts and periodic view snapshots — including delivery/redundancy
+// counters and, when optimizing, the mean measured RTT of the active links —
+// are printed to stdout.
 package main
 
 import (
@@ -38,13 +42,25 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal) error {
 	fs := flag.NewFlagSet("hpv-node", flag.ContinueOnError)
 	var (
-		listen = fs.String("listen", "127.0.0.1:0", "listen address")
-		join   = fs.String("join", "", "contact node address (empty = start a new overlay)")
-		period = fs.Duration("cycle", time.Second, "membership cycle period (ΔT)")
-		views  = fs.Duration("views", 5*time.Second, "view snapshot print period (0 = off)")
+		listen    = fs.String("listen", "127.0.0.1:0", "listen address")
+		join      = fs.String("join", "", "contact node address (empty = start a new overlay)")
+		period    = fs.Duration("cycle", time.Second, "membership cycle period (ΔT)")
+		views     = fs.Duration("views", 5*time.Second, "view snapshot print period (0 = off)")
+		broadcast = fs.String("broadcast", "flood", "broadcast layer: flood or plumtree")
+		optimize  = fs.Bool("optimize", false, "run the X-BOT optimizer over live RTT measurements")
+		probe     = fs.Duration("probe", 0, "RTT probe period with -optimize (0 = cycle period)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var mode transport.BroadcastMode
+	switch *broadcast {
+	case "flood":
+		mode = transport.BroadcastFlood
+	case "plumtree":
+		mode = transport.BroadcastPlumtree
+	default:
+		return fmt.Errorf("unknown broadcast layer %q (want flood or plumtree)", *broadcast)
 	}
 
 	// Deliveries are printed from the agent goroutine; serialize them with
@@ -52,6 +68,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal
 	delivered := make(chan string, 16)
 	agent, err := transport.NewAgent(*listen, transport.AgentConfig{
 		CyclePeriod: *period,
+		Broadcast:   mode,
+		Optimize:    *optimize,
+		ProbePeriod: *probe,
 		OnDeliver: func(p []byte) {
 			select {
 			case delivered <- string(p):
@@ -63,7 +82,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal
 		return err
 	}
 	defer agent.Close()
-	fmt.Fprintf(stdout, "node %v listening on %s\n", agent.Self(), agent.Addr())
+	fmt.Fprintf(stdout, "node %v listening on %s (broadcast=%s optimize=%v)\n",
+		agent.Self(), agent.Addr(), mode, *optimize)
 
 	if *join != "" {
 		if err := agent.Join(*join); err != nil {
@@ -103,11 +123,31 @@ func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal
 		case m := <-delivered:
 			fmt.Fprintf(stdout, "<< %s\n", m)
 		case <-viewTick:
-			fmt.Fprintf(stdout, "-- active=%v passive(%d)\n",
-				agent.ActiveView(), len(agent.PassiveView()))
+			fmt.Fprintln(stdout, snapshot(agent))
 		case <-stop:
 			fmt.Fprintln(stdout, "shutting down")
 			return nil
 		}
 	}
+}
+
+// snapshot renders one periodic status line: views, broadcast accounting
+// (deliveries, duplicate ratio — the per-node share of the overlay's RMR),
+// and the optimizer's live link-cost estimate when enabled.
+func snapshot(agent *transport.Agent) string {
+	bs := agent.BroadcastStats()
+	s := fmt.Sprintf("-- active=%v passive(%d) delivered=%d dup=%d fwd=%d",
+		agent.ActiveView(), len(agent.PassiveView()),
+		bs.Delivered, bs.Duplicates, bs.Forwarded)
+	if ps, ok := agent.PlumtreeStats(); ok {
+		s += fmt.Sprintf(" tree[ihave=%d graft=%d prune=%d]",
+			ps.IHavesSent, ps.GraftsSent, ps.PrunesSent)
+	}
+	if xs, ok := agent.OptimizerStats(); ok {
+		s += fmt.Sprintf(" xbot[attempts=%d swaps=%d]", xs.Attempts, xs.SwapsCompleted)
+		if cost, ok := agent.MeanLinkCost(); ok {
+			s += fmt.Sprintf(" rtt=%.0fµs", cost)
+		}
+	}
+	return s
 }

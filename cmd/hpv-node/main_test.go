@@ -45,6 +45,13 @@ func TestRunBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunBadBroadcastMode(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-broadcast", "carrier-pigeon"}, strings.NewReader(""), &out, nil); err == nil {
+		t.Error("unknown broadcast layer accepted")
+	}
+}
+
 func TestRunJoinFailure(t *testing.T) {
 	var out syncBuffer
 	err := run([]string{"-join", "127.0.0.1:1"}, strings.NewReader(""), &out, nil)
@@ -125,6 +132,44 @@ func TestTwoNodesBroadcastEndToEnd(t *testing.T) {
 	<-contactDone
 }
 
+// TestTwoNodesPlumtreeOptimize runs the full stack end to end: two nodes on
+// Plumtree broadcast with the X-BOT optimizer, a line broadcast over the
+// tree, and a status snapshot carrying the tree and optimizer counters.
+func TestTwoNodesPlumtreeOptimize(t *testing.T) {
+	stack := []string{"-broadcast", "plumtree", "-optimize", "-cycle", "100ms"}
+
+	var contactOut syncBuffer
+	contactStdin, contactW := io.Pipe()
+	defer contactW.Close()
+	contactDone := make(chan error, 1)
+	go func() {
+		contactDone <- run(append([]string{"-listen", "127.0.0.1:0", "-views", "200ms"}, stack...),
+			contactStdin, &contactOut, nil)
+	}()
+	waitContains(t, &contactOut, "listening on")
+	waitContains(t, &contactOut, "broadcast=plumtree optimize=true")
+	addr := extractAddr(t, contactOut.String())
+
+	var peerOut syncBuffer
+	peerStdin, peerW := io.Pipe()
+	peerDone := make(chan error, 1)
+	go func() {
+		peerDone <- run(append([]string{"-join", addr, "-views", "0"}, stack...),
+			peerStdin, &peerOut, nil)
+	}()
+	waitContains(t, &peerOut, "joined overlay")
+	if _, err := peerW.Write([]byte("tree over tcp\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitContains(t, &contactOut, "<< tree over tcp")
+	waitContains(t, &contactOut, "tree[")
+	waitContains(t, &contactOut, "xbot[")
+	_ = peerW.Close()
+	<-peerDone
+	_ = contactW.Close()
+	<-contactDone
+}
+
 // extractAddr pulls "listening on <addr>" out of the node banner.
 func extractAddr(t *testing.T, s string) string {
 	t.Helper()
@@ -136,6 +181,10 @@ func extractAddr(t *testing.T, s string) string {
 	rest := s[i+len(marker):]
 	if j := strings.IndexByte(rest, '\n'); j >= 0 {
 		rest = rest[:j]
+	}
+	// The banner continues after the address ("... (broadcast=...)").
+	if f := strings.Fields(rest); len(f) > 0 {
+		return f[0]
 	}
 	return strings.TrimSpace(rest)
 }

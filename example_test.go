@@ -91,3 +91,52 @@ func ExampleNewAgent() {
 	// Output:
 	// hello overlay
 }
+
+// ExampleNewAgent_fullStack runs the complete protocol stack over real TCP:
+// Plumtree broadcast trees instead of flooding, and the X-BOT optimizer
+// rewiring the overlay from live RTT measurements.
+func ExampleNewAgent_fullStack() {
+	cfg := hyparview.AgentConfig{
+		CyclePeriod: 100 * time.Millisecond,
+		Broadcast:   hyparview.AgentBroadcastPlumtree,
+		Optimize:    true,
+	}
+	got := make(chan string, 1)
+	cfg.OnDeliver = func(p []byte) { got <- string(p) }
+	a, err := hyparview.NewAgent("127.0.0.1:0", cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer a.Close()
+	b, err := hyparview.NewAgent("127.0.0.1:0", hyparview.AgentConfig{
+		CyclePeriod: 100 * time.Millisecond,
+		Broadcast:   hyparview.AgentBroadcastPlumtree,
+		Optimize:    true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer b.Close()
+
+	if err := b.Join(a.Addr()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := b.Broadcast([]byte("over the tree")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	select {
+	case m := <-got:
+		fmt.Println(m)
+	case <-time.After(5 * time.Second):
+		fmt.Println("timeout")
+	}
+	stats := a.BroadcastStats()
+	fmt.Printf("delivered: %d\n", stats.Delivered)
+	// Output:
+	// over the tree
+	// delivered: 1
+}

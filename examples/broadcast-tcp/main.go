@@ -3,6 +3,11 @@
 // network node: framed TCP transport, connection-cache failure detection,
 // periodic shuffles.
 //
+// The program runs the same broadcast workload twice — once flooding every
+// active-view link, once over Plumtree broadcast trees with the X-BOT
+// RTT-driven optimizer — and compares their payload redundancy, then
+// demonstrates failure recovery on the tree-based stack.
+//
 //	go run ./examples/broadcast-tcp
 package main
 
@@ -15,6 +20,11 @@ import (
 	"hyparview"
 )
 
+const (
+	n     = 12
+	burst = 10
+)
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -23,9 +33,18 @@ func main() {
 }
 
 func run() error {
-	const n = 12
-	var delivered atomic.Int64
+	fmt.Printf("%d agents on loopback, %d-message burst per arm\n\n", n, burst)
+	if err := arm(hyparview.AgentBroadcastFlood, false); err != nil {
+		return err
+	}
+	return arm(hyparview.AgentBroadcastPlumtree, true)
+}
 
+// arm builds one overlay with the given stack, measures a broadcast burst,
+// and — on the tree-based stack — kills a third of the agents to show the
+// TCP failure detector driving repair.
+func arm(mode hyparview.AgentBroadcastMode, optimize bool) error {
+	var delivered atomic.Int64
 	agents := make([]*hyparview.Agent, 0, n)
 	defer func() {
 		for _, a := range agents {
@@ -34,10 +53,11 @@ func run() error {
 	}()
 	for i := 0; i < n; i++ {
 		a, err := hyparview.NewAgent("127.0.0.1:0", hyparview.AgentConfig{
-			CyclePeriod: 200 * time.Millisecond,
-			OnDeliver: func(p []byte) {
-				delivered.Add(1)
-			},
+			CyclePeriod:   200 * time.Millisecond,
+			Broadcast:     mode,
+			Optimize:      optimize,
+			PlumtreeTimer: 50 * time.Millisecond,
+			OnDeliver:     func(p []byte) { delivered.Add(1) },
 		})
 		if err != nil {
 			return err
@@ -54,17 +74,35 @@ func run() error {
 	}
 	time.Sleep(500 * time.Millisecond) // let a couple of shuffle cycles run
 
-	fmt.Printf("%d agents on loopback; agent 5 active view: %v\n",
-		n, agents[5].ActiveView())
-
-	if err := agents[5].Broadcast([]byte("hello, overlay")); err != nil {
-		return err
+	// One delivered message at a time: on the tree arm, each redundant copy
+	// earns a PRUNE and the eager links converge to a spanning tree.
+	for i := 0; i < burst; i++ {
+		want := delivered.Load() + n
+		if err := agents[i%n].Broadcast([]byte("hello, overlay")); err != nil {
+			return err
+		}
+		waitFor(&delivered, want, 5*time.Second)
 	}
-	waitFor(&delivered, n, 3*time.Second)
-	fmt.Printf("broadcast delivered at %d/%d nodes\n", delivered.Load(), n)
+
+	var dup uint64
+	for _, a := range agents {
+		dup += a.BroadcastStats().Duplicates
+	}
+	fmt.Printf("%-8s broadcast: %d/%d deliveries, %d redundant payload copies (RMR %.2f)\n",
+		mode, delivered.Load(), burst*n, dup, float64(dup)/float64(burst*(n-1)))
+	if optimize {
+		if cost, ok := agents[0].MeanLinkCost(); ok {
+			fmt.Printf("         agent 0 mean active-link RTT: %.0fµs (X-BOT oracle)\n", cost)
+		}
+	}
+	if mode != hyparview.AgentBroadcastPlumtree {
+		fmt.Println()
+		return nil
+	}
 
 	// Kill a third of the agents and broadcast again: TCP resets drive the
-	// survivors' repairs, exactly like the simulator's failure experiments.
+	// survivors' repairs — HyParView refills views, Plumtree re-grafts the
+	// tree — exactly like the simulator's failure experiments.
 	for _, a := range agents[8:] {
 		_ = a.Close()
 	}
@@ -74,7 +112,7 @@ func run() error {
 		return err
 	}
 	waitFor(&delivered, 8, 3*time.Second)
-	fmt.Printf("post-failure broadcast delivered at %d/%d survivors\n", delivered.Load(), 8)
+	fmt.Printf("         post-failure broadcast delivered at %d/%d survivors\n", delivered.Load(), 8)
 	return nil
 }
 

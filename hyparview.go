@@ -6,10 +6,16 @@
 // companion Plumtree broadcast trees (SRDS 2007), overlay graph analysis,
 // and a real TCP transport.
 //
-// # Quick start (real TCP)
+// # Quick start (real TCP, full stack)
+//
+// A TCP agent hosts the whole protocol stack: HyParView membership, flood or
+// Plumtree broadcast, and optionally the X-BOT optimizer driven by live
+// PING/PONG RTT measurements instead of the simulator's latency model:
 //
 //	a, err := hyparview.NewAgent("127.0.0.1:0", hyparview.AgentConfig{
 //		CyclePeriod: time.Second,
+//		Broadcast:   hyparview.AgentBroadcastPlumtree, // default: flood
+//		Optimize:    true,                             // X-BOT over live RTTs
 //		OnDeliver:   func(p []byte) { fmt.Printf("got %q\n", p) },
 //	})
 //	// ... a.Join(contactAddr), a.Broadcast([]byte("hello")), a.Close()
@@ -105,12 +111,31 @@ type CyclonConfig = cyclon.Config
 type ScampConfig = scamp.Config
 
 // Agent is a HyParView node running over real TCP: an actor-style wrapper
-// around the protocol core, the flood broadcast layer and the framed TCP
-// transport.
+// around the protocol core, the selected broadcast layer (flood or
+// Plumtree), the optional X-BOT optimizer with its live RTT oracle, and the
+// framed TCP transport.
 type Agent = transport.Agent
 
-// AgentConfig configures a TCP agent.
+// AgentConfig configures a TCP agent. Broadcast selects the broadcast layer,
+// Optimize enables RTT-driven X-BOT overlay optimization.
 type AgentConfig = transport.AgentConfig
+
+// AgentBroadcastMode selects a TCP agent's broadcast layer.
+type AgentBroadcastMode = transport.BroadcastMode
+
+// TCP agent broadcast layers.
+const (
+	// AgentBroadcastFlood forwards payloads on every active-view link (the
+	// paper's dissemination, the agent's default).
+	AgentBroadcastFlood = transport.BroadcastFlood
+	// AgentBroadcastPlumtree runs Plumtree epidemic broadcast trees with
+	// real-clock missing-message repair timers.
+	AgentBroadcastPlumtree = transport.BroadcastPlumtree
+)
+
+// AgentBroadcastStats is a snapshot of a TCP agent's broadcast-layer payload
+// accounting (deliveries, duplicates, forwards, failed sends).
+type AgentBroadcastStats = transport.BroadcastStats
 
 // TransportConfig tunes the TCP transport's timeouts.
 type TransportConfig = transport.Config

@@ -46,6 +46,8 @@ func sampleMessages() []Message {
 		{Type: XBotSwitch, Sender: 27, Subject: 24, Nodes: []id.ID{26}},
 		{Type: XBotSwitchReply, Sender: 25, Subject: 24, Accept: true},
 		{Type: XBotDisconnectWait, Sender: 28},
+		{Type: Ping, Sender: 29, Round: 0xfeedbeef},
+		{Type: Pong, Sender: 30, Round: 0xfeedbeef},
 	}
 }
 

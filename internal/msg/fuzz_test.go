@@ -36,6 +36,10 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(Message{Type: XBotReplaceReply, Sender: 4, Subject: 1, Accept: true}))
 	f.Add(Encode(Message{Type: XBotOptimizationReply, Sender: 3, Subject: 2, Accept: false}))
 	f.Add(Encode(Message{Type: XBotDisconnectWait, Sender: 2}))
+	// The RTT measurement pair: a nonce-carrying ping and its echo, the wire
+	// traffic behind the TCP agent's live cost oracle.
+	f.Add(Encode(Message{Type: Ping, Sender: 1, Round: 0xdecafbad}))
+	f.Add(Encode(Message{Type: Pong, Sender: 2, Round: 0xdecafbad}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {

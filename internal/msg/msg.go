@@ -66,6 +66,13 @@ const (
 	XBotSwitchReply
 	XBotDisconnectWait
 
+	// RTT measurement for deployments. A PING carries a nonce in Round; the
+	// receiver echoes it back in a PONG. The TCP agent's cost oracle times
+	// the exchange and feeds an EWMA per peer, giving X-BOT the live RTT
+	// estimates that the simulator gets from its latency model.
+	Ping
+	Pong
+
 	maxType
 )
 
@@ -99,6 +106,9 @@ var typeNames = [...]string{
 	XBotSwitch:            "XBOTSWITCH",
 	XBotSwitchReply:       "XBOTSWITCHREPLY",
 	XBotDisconnectWait:    "XBOTDISCONNECTWAIT",
+
+	Ping: "PING",
+	Pong: "PONG",
 }
 
 // String returns the conventional upper-case name of the message type.

@@ -10,8 +10,37 @@ import (
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
+	"hyparview/internal/plumtree"
 	"hyparview/internal/rng"
+	"hyparview/internal/xbot"
 )
+
+// BroadcastMode selects the broadcast layer a TCP agent runs over HyParView.
+type BroadcastMode uint8
+
+// Broadcast modes.
+const (
+	// BroadcastFlood forwards every payload on every active-view link except
+	// the arrival one: the paper's own dissemination (§4.1).
+	BroadcastFlood BroadcastMode = iota
+	// BroadcastPlumtree runs the Plumtree epidemic broadcast tree (SRDS
+	// 2007): eager payload push on tree links, lazy IHAVE announcements
+	// elsewhere, GRAFT/PRUNE repair — flooding's reliability at near-zero
+	// payload redundancy.
+	BroadcastPlumtree
+)
+
+// String names the mode.
+func (m BroadcastMode) String() string {
+	switch m {
+	case BroadcastFlood:
+		return "flood"
+	case BroadcastPlumtree:
+		return "plumtree"
+	default:
+		return fmt.Sprintf("BroadcastMode(%d)", uint8(m))
+	}
+}
 
 // AgentConfig configures a TCP-hosted HyParView node.
 type AgentConfig struct {
@@ -26,6 +55,37 @@ type AgentConfig struct {
 	// Seed drives the node's deterministic randomness; zero derives a seed
 	// from the bound address.
 	Seed uint64
+
+	// Broadcast selects the broadcast layer (default BroadcastFlood).
+	Broadcast BroadcastMode
+	// Plumtree overrides Plumtree parameters when Broadcast is
+	// BroadcastPlumtree; zero fields take the protocol's defaults.
+	Plumtree plumtree.Config
+	// PlumtreeTimer is the missing-message timeout under the agent's real
+	// clock: how long a node that heard an IHAVE announcement waits for the
+	// eager copy before GRAFTing the announcer. The simulator models this
+	// timeout by re-queueing a self-addressed message behind pending traffic;
+	// the agent schedules one wall-clock timer instead. Default 200ms.
+	PlumtreeTimer time.Duration
+
+	// Optimize layers the X-BOT optimizer (SRDS 2009) over HyParView: a
+	// periodic ticker measures live RTTs with PING/PONG exchanges and the
+	// 4-node coordinated swap handshake continuously rewires the active view
+	// toward low-latency links. Each optimization attempt probes
+	// XBot.Candidates passive-view members; probing a dead candidate costs
+	// one failed dial (Transport.DialTimeout) on the agent goroutine — the
+	// same price HyParView's own view repair pays per dead passive entry —
+	// so keep DialTimeout modest on overlays with heavy churn.
+	Optimize bool
+	// XBot overrides optimizer parameters when Optimize is set; zero fields
+	// take the protocol's defaults. XBot.Period counts membership cycles
+	// between optimization attempts.
+	XBot xbot.Config
+	// ProbePeriod is how often active-view links are re-measured with a
+	// PING/PONG round trip when Optimize is set. Default: CyclePeriod when
+	// positive, else 1s.
+	ProbePeriod time.Duration
+
 	// OnDeliver is invoked (from the agent goroutine) once per delivered
 	// broadcast. May be nil.
 	OnDeliver func(payload []byte)
@@ -38,34 +98,61 @@ type AgentConfig struct {
 }
 
 // agentEnv adapts Transport to peer.Env for the protocol goroutine.
+// Self-addressed sends — the protocols' simulator timer idiom — are diverted
+// onto the agent's real clock instead of the wire.
 type agentEnv struct {
-	t *Transport
+	a *Agent
 	r *rng.Rand
 }
 
 var _ peer.Env = (*agentEnv)(nil)
 
-func (e *agentEnv) Self() id.ID                       { return e.t.Self() }
-func (e *agentEnv) Send(d id.ID, m msg.Message) error { return e.t.Send(d, m) }
-func (e *agentEnv) Probe(d id.ID) error               { return e.t.Probe(d) }
-func (e *agentEnv) Watch(d id.ID)                     { e.t.Watch(d) }
-func (e *agentEnv) Unwatch(d id.ID)                   { e.t.Unwatch(d) }
-func (e *agentEnv) Rand() *rng.Rand                   { return e.r }
+func (e *agentEnv) Self() id.ID { return e.a.tr.Self() }
 
-// Agent runs one HyParView node over real TCP. The protocol state machine is
+func (e *agentEnv) Send(d id.ID, m msg.Message) error {
+	if d == e.a.tr.Self() {
+		e.a.scheduleSelf(m)
+		return nil
+	}
+	return e.a.tr.Send(d, m)
+}
+
+func (e *agentEnv) Probe(d id.ID) error { return e.a.tr.Probe(d) }
+func (e *agentEnv) Watch(d id.ID)       { e.a.tr.Watch(d) }
+func (e *agentEnv) Unwatch(d id.ID)     { e.a.tr.Unwatch(d) }
+func (e *agentEnv) Rand() *rng.Rand     { return e.r }
+
+// pingState is one outstanding PING: who it was sent to and when.
+type pingState struct {
+	peer id.ID
+	sent time.Time
+}
+
+// Agent runs one HyParView node over real TCP, hosting the full protocol
+// stack of the paper and its companion papers: the HyParView core, the
+// selected broadcast layer (flood or Plumtree), and optionally the X-BOT
+// overlay optimizer fed by a live RTT oracle. The protocol state machine is
 // single-threaded: every network delivery, peer-down notification, timer
 // tick and API call is funneled through one actor goroutine, so the core
 // protocol needs no locking — the same discipline the simulator enforces.
 type Agent struct {
-	tr        *Transport
-	node      *core.Node
-	gnode     *gossip.Node
-	rand      *rng.Rand
-	inbox     chan func()
-	stop      chan struct{}
-	done      chan struct{}
-	ticker    *time.Ticker
-	closeOnce sync.Once
+	tr          *Transport
+	node        *core.Node
+	xnode       *xbot.Node     // non-nil when optimizing
+	ptree       *plumtree.Node // non-nil in BroadcastPlumtree mode
+	broadcaster gossip.Broadcaster
+	rand        *rng.Rand
+	rtt         *rttOracle
+	pings       map[uint64]pingState
+	replySlots  chan struct{} // caps concurrent PONG dial-back goroutines
+	selfDelay   time.Duration
+	probePeriod time.Duration
+	inbox       chan func()
+	stop        chan struct{}
+	done        chan struct{}
+	ticker      *time.Ticker
+	probeTicker *time.Ticker
+	closeOnce   sync.Once
 }
 
 // NewAgent binds a listener on listenAddr and starts the actor loop. Close
@@ -77,19 +164,25 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 		// senders block, TCP backpressure propagates, and remote peers'
 		// write timeouts expel us — precisely the slow-node handling the
 		// paper adopts from NeEM (§5.5).
-		inbox: make(chan func(), 256),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		inbox:      make(chan func(), 256),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		pings:      make(map[uint64]pingState),
+		replySlots: make(chan struct{}, 16),
+	}
+	a.selfDelay = cfg.PlumtreeTimer
+	if a.selfDelay <= 0 {
+		a.selfDelay = 200 * time.Millisecond
 	}
 	tr, err := Listen(listenAddr, cfg.Transport,
 		func(from id.ID, m msg.Message) {
 			select {
-			case a.inbox <- func() { a.gnode.Deliver(from, m) }:
+			case a.inbox <- func() { a.dispatch(from, m) }:
 			case <-a.stop:
 			}
 		},
 		func(peerID id.ID) {
-			op := func() { a.gnode.OnPeerDown(peerID) }
+			op := func() { a.broadcaster.OnPeerDown(peerID) }
 			// This callback can fire on the actor goroutine itself (a Send
 			// that fails drops the connection synchronously); blocking on a
 			// full inbox there would self-deadlock, so fall back to an
@@ -114,7 +207,7 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 		seed = uint64(tr.Self()) ^ uint64(time.Now().UnixNano())
 	}
 	a.rand = rng.New(seed)
-	env := &agentEnv{t: tr, r: a.rand}
+	env := &agentEnv{a: a, r: a.rand}
 	a.node = core.New(env, cfg.Core)
 	if cfg.OnNeighborUp != nil || cfg.OnNeighborDown != nil {
 		a.node.SetListener(core.Listener{
@@ -122,12 +215,41 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 			NeighborDown: cfg.OnNeighborDown,
 		})
 	}
-	gcfg := gossip.Config{Mode: gossip.Flood, ReportPeerDown: true}
+
+	// Membership stack: X-BOT (when optimizing) wraps the HyParView core and
+	// is itself a peer.Membership, so the broadcast layer stacks on top
+	// unchanged — the same layering the simulator uses.
+	var member peer.Membership = a.node
+	if cfg.Optimize {
+		a.rtt = newRTTOracle(tr.Self(), a.sendPing)
+		a.xnode = xbot.New(env, a.node, cfg.XBot, a.rtt)
+		member = a.xnode
+		a.probePeriod = cfg.ProbePeriod
+		if a.probePeriod <= 0 {
+			if cfg.CyclePeriod > 0 {
+				a.probePeriod = cfg.CyclePeriod
+			} else {
+				a.probePeriod = time.Second
+			}
+		}
+		a.probeTicker = time.NewTicker(a.probePeriod)
+	}
+
 	var deliver gossip.Delivery
 	if cb := cfg.OnDeliver; cb != nil {
 		deliver = func(_ uint64, payload []byte, _ int) { cb(payload) }
 	}
-	a.gnode = gossip.New(env, a.node, gcfg, deliver)
+	switch cfg.Broadcast {
+	case BroadcastPlumtree:
+		pcfg := cfg.Plumtree
+		pcfg.ReportPeerDown = true
+		a.ptree = plumtree.New(env, member, pcfg, deliver)
+		a.broadcaster = a.ptree
+	default:
+		a.broadcaster = gossip.New(env, member,
+			gossip.Config{Mode: gossip.Flood, ReportPeerDown: true}, deliver)
+	}
+
 	if cfg.CyclePeriod > 0 {
 		a.ticker = time.NewTicker(cfg.CyclePeriod)
 	}
@@ -138,20 +260,144 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 // loop is the actor goroutine: the only place protocol state is touched.
 func (a *Agent) loop() {
 	defer close(a.done)
-	var tick <-chan time.Time
+	var tick, probe <-chan time.Time
 	if a.ticker != nil {
 		tick = a.ticker.C
+	}
+	if a.probeTicker != nil {
+		probe = a.probeTicker.C
 	}
 	for {
 		select {
 		case op := <-a.inbox:
 			op()
 		case <-tick:
-			a.gnode.OnCycle()
+			a.broadcaster.OnCycle()
+		case <-probe:
+			a.onProbeTick()
 		case <-a.stop:
 			return
 		}
 	}
+}
+
+// dispatch routes one network delivery on the actor goroutine: the RTT
+// measurement traffic is answered here, everything else descends the
+// broadcast/optimizer/membership stack.
+func (a *Agent) dispatch(from id.ID, m msg.Message) {
+	switch m.Type {
+	case msg.Ping:
+		// Echo the nonce back. A pinger we hold a cached connection to gets
+		// the reply inline; one that reached us over an inbound connection
+		// (an optimizer measuring a candidate link) needs a dial-back, which
+		// runs off the actor goroutine so that a peer that died right after
+		// pinging cannot stall the agent for a dial timeout. Failed sends
+		// need no handling: the watch machinery reports broken links.
+		pong := msg.Message{Type: msg.Pong, Sender: a.tr.Self(), Round: m.Round}
+		switch {
+		case a.tr.Connected(from):
+			_ = a.tr.Send(from, pong)
+		default:
+			// The dial-back goroutines are capped: a flood of pings from
+			// unroutable senders must not pile up one dial-timeout-blocked
+			// goroutine each. Past the cap the reply is dropped — the
+			// measurement is best-effort and the prober retries.
+			select {
+			case a.replySlots <- struct{}{}:
+				go func() {
+					defer func() { <-a.replySlots }()
+					_ = a.tr.Send(from, pong)
+				}()
+			default:
+			}
+		}
+	case msg.Pong:
+		a.onPong(from, m.Round)
+	default:
+		a.broadcaster.Deliver(from, m)
+	}
+}
+
+// scheduleSelf converts a protocol's self-addressed message — the simulator's
+// timer idiom — into a real-clock timer: the message re-enters the actor loop
+// after PlumtreeTimer. The TTL re-queue passes that emulate "wait for queued
+// traffic to drain" in the simulator collapse to zero: one wall-clock delay
+// is the whole timeout, so the timer fires exactly once per arming.
+func (a *Agent) scheduleSelf(m msg.Message) {
+	m.TTL = 0
+	self := a.tr.Self()
+	time.AfterFunc(a.selfDelay, func() {
+		select {
+		case a.inbox <- func() { a.broadcaster.Deliver(self, m) }:
+		case <-a.stop:
+		}
+	})
+}
+
+// sendPing starts one RTT measurement: a PING carrying a random nonce that
+// the peer echoes back in a PONG. It only rides connections that already
+// exist — never dialing — so a measurement request can never stall the
+// actor goroutine on a dead peer. Active-view links are open by definition
+// (Watch dials them), and optimizer candidates were just probed, so the
+// peers worth measuring always have a cached connection. Called on the
+// actor goroutine only.
+func (a *Agent) sendPing(dst id.ID) {
+	if dst == a.tr.Self() || dst.IsNil() || !a.tr.Connected(dst) {
+		return
+	}
+	nonce := a.rand.Uint64()
+	if err := a.tr.Send(dst, msg.Message{Type: msg.Ping, Sender: a.tr.Self(), Round: nonce}); err != nil {
+		return // connection just broke; watch/send-failure paths handle it
+	}
+	a.pings[nonce] = pingState{peer: dst, sent: time.Now()}
+}
+
+// onPong completes one RTT measurement and feeds the EWMA oracle.
+func (a *Agent) onPong(from id.ID, nonce uint64) {
+	st, ok := a.pings[nonce]
+	if !ok || st.peer != from {
+		return // stale, duplicated or forged
+	}
+	delete(a.pings, nonce)
+	if a.rtt != nil {
+		a.rtt.observe(from, time.Since(st.sent))
+	}
+}
+
+// onProbeTick re-measures every active-view link and garbage-collects the
+// measurement state: pings that never came back (the peer died — the failure
+// detector reports that separately) and RTT estimates for peers no longer in
+// either view.
+func (a *Agent) onProbeTick() {
+	// The GC cutoff keeps an absolute floor above any plausible RTT: with a
+	// short probe period (tests use 50ms), 3×period alone would collect
+	// in-flight pings on high-latency paths before their pongs arrive,
+	// leaving exactly the expensive links forever unmeasured.
+	cutoff := 3 * a.probePeriod
+	if cutoff < 3*time.Second {
+		cutoff = 3 * time.Second
+	}
+	now := time.Now()
+	for nonce, st := range a.pings {
+		if now.Sub(st.sent) > cutoff {
+			delete(a.pings, nonce)
+		}
+	}
+	active := a.node.Active()
+	for _, p := range active {
+		a.sendPing(p)
+	}
+	keep := make(map[id.ID]bool, len(active))
+	for _, p := range active {
+		keep[p] = true
+	}
+	for _, p := range a.node.Passive() {
+		keep[p] = true
+	}
+	for _, st := range a.pings {
+		keep[st.peer] = true
+	}
+	a.rtt.prune(keep)
 }
 
 // call runs op on the actor goroutine and waits for completion.
@@ -192,15 +438,17 @@ func (a *Agent) Join(contactAddr string) error {
 // Register makes addr dialable and returns its derived identifier.
 func (a *Agent) Register(addr string) id.ID { return a.tr.Register(addr) }
 
-// Broadcast floods payload over the overlay. The round identifier is drawn
-// from the node's random stream; collisions across 64 bits are negligible.
+// Broadcast disseminates payload over the overlay through the configured
+// broadcast layer. The round identifier is drawn from the node's random
+// stream; collisions across 64 bits are negligible.
 func (a *Agent) Broadcast(payload []byte) error {
-	return a.call(func() { a.gnode.Broadcast(a.rand.Uint64(), payload) })
+	return a.call(func() { a.broadcaster.Broadcast(a.rand.Uint64(), payload) })
 }
 
 // Cycle triggers one membership cycle synchronously (manual ΔT driving).
+// With Optimize set this includes the X-BOT optimization attempt cadence.
 func (a *Agent) Cycle() error {
-	return a.call(func() { a.gnode.OnCycle() })
+	return a.call(func() { a.broadcaster.OnCycle() })
 }
 
 // ActiveView returns a snapshot of the active view.
@@ -224,6 +472,76 @@ func (a *Agent) Stats() core.Stats {
 	return out
 }
 
+// BroadcastStats is a snapshot of the broadcast layer's payload accounting:
+// Delivered counts first copies (including this node's own broadcasts),
+// Duplicates counts redundant payload receptions, Forwarded counts payload
+// sends, SendFails counts sends rejected because the peer was down. The
+// population-level RMR of an overlay over a burst of msgs broadcasts is
+// sum(Duplicates) / (sum(Delivered) - msgs): redundant payload receptions
+// per payload reception the dissemination actually required (an
+// originator's own delivery involves no wire reception). Per node,
+// Duplicates/Delivered is the local redundancy share.
+type BroadcastStats struct {
+	Delivered  uint64
+	Duplicates uint64
+	Forwarded  uint64
+	SendFails  uint64
+}
+
+// BroadcastStats returns the broadcast layer's payload accounting.
+func (a *Agent) BroadcastStats() BroadcastStats {
+	var out BroadcastStats
+	_ = a.call(func() {
+		out.Delivered, out.Duplicates, out.Forwarded, out.SendFails = a.broadcaster.Counters()
+	})
+	return out
+}
+
+// PlumtreeStats returns the Plumtree control-plane counters; ok is false
+// when the agent runs flood broadcast.
+func (a *Agent) PlumtreeStats() (stats plumtree.ControlStats, ok bool) {
+	_ = a.call(func() {
+		if a.ptree != nil {
+			stats, ok = a.ptree.Control(), true
+		}
+	})
+	return stats, ok
+}
+
+// OptimizerStats returns the X-BOT handshake counters; ok is false when the
+// agent runs without the optimizer.
+func (a *Agent) OptimizerStats() (stats xbot.Stats, ok bool) {
+	_ = a.call(func() {
+		if a.xnode != nil {
+			stats, ok = a.xnode.Stats(), true
+		}
+	})
+	return stats, ok
+}
+
+// MeanLinkCost returns the mean measured RTT (microseconds) over the
+// active-view links the RTT oracle has estimates for; ok is false when the
+// agent runs without the optimizer or nothing has been measured yet.
+func (a *Agent) MeanLinkCost() (mean float64, ok bool) {
+	_ = a.call(func() {
+		if a.rtt == nil {
+			return
+		}
+		var sum float64
+		var n int
+		for _, p := range a.node.Active() {
+			if c, measured := a.rtt.estimate(p); measured {
+				sum += c
+				n++
+			}
+		}
+		if n > 0 {
+			mean, ok = sum/float64(n), true
+		}
+	})
+	return mean, ok
+}
+
 // Close stops the actor loop and the transport, waiting for all goroutines.
 // It is idempotent and safe for concurrent use.
 func (a *Agent) Close() error {
@@ -233,6 +551,9 @@ func (a *Agent) Close() error {
 		<-a.done
 		if a.ticker != nil {
 			a.ticker.Stop()
+		}
+		if a.probeTicker != nil {
+			a.probeTicker.Stop()
 		}
 		err = a.tr.Close()
 	})

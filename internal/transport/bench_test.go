@@ -43,9 +43,10 @@ func BenchmarkSendLoopback(b *testing.B) {
 	}
 }
 
-// BenchmarkAgentBroadcastLoopback measures an end-to-end flood across 8 real
-// TCP agents on loopback, timer stopped until every agent delivered.
-func BenchmarkAgentBroadcastLoopback(b *testing.B) {
+// benchAgentBroadcast measures an end-to-end broadcast across 8 real TCP
+// agents on loopback under the given broadcast layer: one iteration is one
+// message fully delivered at every agent.
+func benchAgentBroadcast(b *testing.B, mode BroadcastMode) {
 	const n = 8
 	var delivered atomic.Int64
 	agents := make([]*Agent, 0, n)
@@ -56,7 +57,9 @@ func BenchmarkAgentBroadcastLoopback(b *testing.B) {
 	}()
 	for i := 0; i < n; i++ {
 		a, err := NewAgent("127.0.0.1:0", AgentConfig{
-			OnDeliver: func([]byte) { delivered.Add(1) },
+			Broadcast:     mode,
+			PlumtreeTimer: 50 * time.Millisecond,
+			OnDeliver:     func([]byte) { delivered.Add(1) },
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -71,8 +74,7 @@ func BenchmarkAgentBroadcastLoopback(b *testing.B) {
 	// Wait for the overlay to settle.
 	time.Sleep(300 * time.Millisecond)
 	payload := make([]byte, 64)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	send := func(i int) {
 		want := delivered.Load() + n
 		if err := agents[i%n].Broadcast(payload); err != nil {
 			b.Fatal(err)
@@ -83,6 +85,65 @@ func BenchmarkAgentBroadcastLoopback(b *testing.B) {
 		}
 		if delivered.Load() < want {
 			b.Fatalf("broadcast %d incomplete: %d/%d", i, delivered.Load()-(want-int64(n)), n)
+		}
+	}
+	// Warm-up so Plumtree's pruning carves its spanning tree before the
+	// measured iterations (a no-op for flood).
+	for i := 0; i < 10; i++ {
+		send(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send(i)
+	}
+	b.StopTimer()
+	var dup, del uint64
+	for _, a := range agents {
+		st := a.BroadcastStats()
+		dup += st.Duplicates
+		del += st.Delivered
+	}
+	b.ReportMetric(float64(dup)/float64(del), "dup/delivery")
+}
+
+// BenchmarkFloodBroadcast: per-message latency and redundancy of flooding
+// every active-view link (the paper's own dissemination) on real sockets.
+func BenchmarkFloodBroadcast(b *testing.B) { benchAgentBroadcast(b, BroadcastFlood) }
+
+// BenchmarkPlumtreeBroadcast: the same workload over Plumtree broadcast
+// trees — equal reliability, payload pushes on tree links only.
+func BenchmarkPlumtreeBroadcast(b *testing.B) { benchAgentBroadcast(b, BroadcastPlumtree) }
+
+// BenchmarkRTTProbe measures one full PING→PONG round trip through an
+// agent's actor loop: the unit cost of the X-BOT oracle's link measurements.
+func BenchmarkRTTProbe(b *testing.B) {
+	agent, err := NewAgent("127.0.0.1:0", AgentConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agent.Close()
+
+	pongs := make(chan uint64, 1)
+	prober, err := Listen("127.0.0.1:0", Config{}, func(_ id.ID, m msg.Message) {
+		if m.Type == msg.Pong {
+			pongs <- m.Round
+		}
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer prober.Close()
+	dst := prober.Register(agent.Addr())
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonce := uint64(i) + 1
+		if err := prober.Send(dst, msg.Message{Type: msg.Ping, Sender: prober.Self(), Round: nonce}); err != nil {
+			b.Fatal(err)
+		}
+		if got := <-pongs; got != nonce {
+			b.Fatalf("pong nonce %d, want %d", got, nonce)
 		}
 	}
 }

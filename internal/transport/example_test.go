@@ -1,0 +1,89 @@
+package transport_test
+
+import (
+	"fmt"
+	"time"
+
+	"hyparview/internal/core"
+	"hyparview/internal/id"
+	"hyparview/internal/transport"
+)
+
+// ExampleNewAgent shows the agent lifecycle: bind, join, broadcast, inspect,
+// close. Every method is safe to call from any goroutine — the agent funnels
+// all work through its single actor goroutine.
+func ExampleNewAgent() {
+	got := make(chan string, 1)
+	contact, err := transport.NewAgent("127.0.0.1:0", transport.AgentConfig{
+		OnDeliver: func(p []byte) { got <- string(p) },
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer contact.Close()
+
+	peer, err := transport.NewAgent("127.0.0.1:0", transport.AgentConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer peer.Close()
+
+	// Join through any node already in the overlay, then broadcast.
+	if err := peer.Join(contact.Addr()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := peer.Broadcast([]byte("hi")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	select {
+	case m := <-got:
+		fmt.Printf("contact delivered %q\n", m)
+	case <-time.After(5 * time.Second):
+		fmt.Println("timeout")
+	}
+	fmt.Printf("peer sees %d active neighbor(s)\n", len(peer.ActiveView()))
+	// Output:
+	// contact delivered "hi"
+	// peer sees 1 active neighbor(s)
+}
+
+// ExampleNewAgent_callbacks wires the three agent callbacks: delivery,
+// neighbor-up and neighbor-down. All fire on the agent goroutine, so they
+// must return quickly and must not call back into the agent synchronously.
+func ExampleNewAgent_callbacks() {
+	ups := make(chan id.ID, 8)
+	downs := make(chan core.DownReason, 8)
+	a, err := transport.NewAgent("127.0.0.1:0", transport.AgentConfig{
+		OnNeighborUp:   func(peer id.ID) { ups <- peer },
+		OnNeighborDown: func(peer id.ID, reason core.DownReason) { downs <- reason },
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer a.Close()
+
+	b, err := transport.NewAgent("127.0.0.1:0", transport.AgentConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := b.Join(a.Addr()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	up := <-ups
+	fmt.Printf("up: joiner %v\n", up == b.Self())
+
+	// Killing the peer's process breaks the watched TCP connection: the
+	// failure detector reports the neighbor down.
+	_ = b.Close()
+	fmt.Printf("down: %v\n", <-downs)
+	// Output:
+	// up: joiner true
+	// down: failed
+}

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"time"
+
+	"hyparview/internal/id"
+)
+
+// unknownCost is returned for links the oracle has no estimate for yet. It is
+// large enough that an unmeasured link never looks attractive to the
+// optimizer, while the triggered measurement makes the next optimization
+// round better informed.
+const unknownCost = uint64(1) << 40
+
+// rttEWMAWeight is the weight of a new sample in the running estimate: TCP's
+// classic SRTT smoothing factor (RFC 6298), 1/8.
+const rttEWMAWeight = 0.125
+
+// rttOracle implements xbot.Oracle over live PING/PONG round-trip
+// measurements: one exponentially weighted moving average per peer, in
+// microseconds. This is the deployment-side counterpart of the simulator's
+// latency model — X-BOT only ever asks a node for the cost of its own
+// adjacent links, which is exactly what a node can measure itself.
+//
+// The oracle is owned by the agent's actor goroutine; it is not safe for
+// concurrent use and needs no locks.
+type rttOracle struct {
+	self id.ID
+	est  map[id.ID]float64 // microseconds, EWMA-smoothed
+
+	// requestPing asynchronously starts a measurement of a link the
+	// optimizer asked about but that has no estimate yet. The current call
+	// still returns unknownCost; the estimate exists by the next attempt.
+	requestPing func(id.ID)
+}
+
+// newRTTOracle builds an oracle for self; requestPing is invoked for
+// cost queries about unmeasured peers.
+func newRTTOracle(self id.ID, requestPing func(id.ID)) *rttOracle {
+	return &rttOracle{
+		self:        self,
+		est:         make(map[id.ID]float64),
+		requestPing: requestPing,
+	}
+}
+
+// Cost implements xbot.Oracle. One endpoint is always the local node; the
+// estimate for the other endpoint is returned, or unknownCost — after
+// kicking off a measurement — when the link was never measured.
+func (o *rttOracle) Cost(a, b id.ID) uint64 {
+	other := b
+	if other == o.self {
+		other = a
+	}
+	if other == o.self || other.IsNil() {
+		return 0
+	}
+	if e, ok := o.est[other]; ok {
+		if e < 1 {
+			return 1
+		}
+		return uint64(e)
+	}
+	if o.requestPing != nil {
+		o.requestPing(other)
+	}
+	return unknownCost
+}
+
+// KnownCost implements xbot.CostKnower: the optimizer must not rank or
+// dissolve links this oracle has never completed a measurement for.
+func (o *rttOracle) KnownCost(a, b id.ID) bool {
+	other := b
+	if other == o.self {
+		other = a
+	}
+	if other == o.self || other.IsNil() {
+		return true
+	}
+	_, ok := o.est[other]
+	return ok
+}
+
+// observe folds one measured round trip into the peer's estimate.
+func (o *rttOracle) observe(peer id.ID, rtt time.Duration) {
+	if rtt < 0 {
+		return
+	}
+	sample := float64(rtt.Microseconds())
+	if prev, ok := o.est[peer]; ok {
+		o.est[peer] = prev + rttEWMAWeight*(sample-prev)
+	} else {
+		o.est[peer] = sample
+	}
+}
+
+// estimate returns the current estimate for peer in microseconds.
+func (o *rttOracle) estimate(peer id.ID) (float64, bool) {
+	e, ok := o.est[peer]
+	return e, ok
+}
+
+// prune drops estimates for peers outside keep, bounding the map to the
+// node's current membership horizon (both views plus in-flight pings).
+func (o *rttOracle) prune(keep map[id.ID]bool) {
+	for p := range o.est {
+		if !keep[p] {
+			delete(o.est, p)
+		}
+	}
+}
+
+// len reports the number of live estimates (tests).
+func (o *rttOracle) len() int { return len(o.est) }

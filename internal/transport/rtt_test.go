@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"hyparview/internal/id"
+	"hyparview/internal/xbot"
+)
+
+// The rtt oracle must satisfy the optimizer's contracts.
+var (
+	_ xbot.Oracle     = (*rttOracle)(nil)
+	_ xbot.CostKnower = (*rttOracle)(nil)
+)
+
+func TestRTTOracleUnknownTriggersPing(t *testing.T) {
+	var pinged []id.ID
+	o := newRTTOracle(1, func(p id.ID) { pinged = append(pinged, p) })
+
+	if o.KnownCost(1, 2) {
+		t.Error("unmeasured link reported as known")
+	}
+	if c := o.Cost(1, 2); c != unknownCost {
+		t.Errorf("unmeasured Cost = %d, want unknownCost", c)
+	}
+	if len(pinged) != 1 || pinged[0] != 2 {
+		t.Fatalf("Cost of unmeasured link pinged %v, want [2]", pinged)
+	}
+	// Self links are never measured and always "known".
+	if c := o.Cost(1, 1); c != 0 {
+		t.Errorf("self Cost = %d, want 0", c)
+	}
+	if !o.KnownCost(1, 1) {
+		t.Error("self link reported unknown")
+	}
+}
+
+func TestRTTOracleEWMAAndSymmetry(t *testing.T) {
+	o := newRTTOracle(1, nil)
+	o.observe(2, 800*time.Microsecond)
+	if c := o.Cost(1, 2); c != 800 {
+		t.Errorf("first sample Cost = %d, want 800", c)
+	}
+	// Argument order must not matter: one endpoint is always the local node.
+	if o.Cost(2, 1) != o.Cost(1, 2) {
+		t.Error("Cost not symmetric in argument order")
+	}
+	if !o.KnownCost(2, 1) {
+		t.Error("measured link reported unknown")
+	}
+	// RFC 6298 smoothing: est' = est + (sample-est)/8.
+	o.observe(2, 1600*time.Microsecond)
+	if c := o.Cost(1, 2); c != 900 {
+		t.Errorf("EWMA Cost = %d, want 900", c)
+	}
+	// Sub-microsecond estimates clamp to 1, never 0 (a zero-cost link would
+	// always win every comparison).
+	o2 := newRTTOracle(1, nil)
+	o2.observe(3, 100*time.Nanosecond)
+	if c := o2.Cost(1, 3); c != 1 {
+		t.Errorf("tiny RTT Cost = %d, want clamp to 1", c)
+	}
+}
+
+func TestRTTOraclePrune(t *testing.T) {
+	o := newRTTOracle(1, nil)
+	o.observe(2, time.Millisecond)
+	o.observe(3, time.Millisecond)
+	o.observe(4, time.Millisecond)
+	o.prune(map[id.ID]bool{3: true})
+	if o.len() != 1 || !o.KnownCost(1, 3) || o.KnownCost(1, 2) {
+		t.Errorf("prune kept %d estimates, want only peer 3", o.len())
+	}
+}

@@ -7,6 +7,16 @@
 // over TCP so that omissions need not be masked by redundancy, and TCP
 // doubling as the failure detector. The HyParView authors deferred a real
 // deployment to future work (PlanetLab, §6); this package provides it.
+//
+// Two layers live here. Transport is the wire: framing, connection cache,
+// address directory, watch notifications. Agent hosts the complete protocol
+// stack over one Transport — HyParView membership, flood or Plumtree
+// broadcast (AgentConfig.Broadcast), and optionally the X-BOT overlay
+// optimizer fed by live PING/PONG RTT measurements (AgentConfig.Optimize) —
+// inside a single actor goroutine, so the same unsynchronized protocol code
+// runs here and in the simulator. Protocol timers that the simulator models
+// with self-addressed messages (Plumtree's missing-message timer) are
+// scheduled on the real clock instead; see AgentConfig.PlumtreeTimer.
 package transport
 
 import (
@@ -154,6 +164,15 @@ func (t *Transport) Send(dst id.ID, m msg.Message) error {
 func (t *Transport) Probe(dst id.ID) error {
 	_, err := t.conn(dst)
 	return err
+}
+
+// Connected reports whether a cached connection to dst currently exists,
+// without dialing.
+func (t *Transport) Connected(dst id.ID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.conns[dst]
+	return ok
 }
 
 // Watch marks dst so that a broken connection to it triggers onPeerDown.

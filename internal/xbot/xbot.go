@@ -77,6 +77,18 @@ type Oracle interface {
 	Cost(a, b id.ID) uint64
 }
 
+// CostKnower is optionally implemented by oracles that may lack estimates
+// for some links (live RTT measurement, unlike a simulator's closed-form
+// latency model). When the oracle implements it, the protocol refuses to
+// rank or dissolve links whose cost is not yet known: deciding a swap on a
+// sentinel value would evict possibly-cheap links on no evidence. Calling
+// Cost for an unknown link is still allowed — and is how measuring oracles
+// learn which links to measure — but its return value is only trusted when
+// KnownCost reports true.
+type CostKnower interface {
+	KnownCost(a, b id.ID) bool
+}
+
 // Membership is the contract X-BOT needs from the membership protocol it
 // optimizes: the peer.Membership behaviour plus surgical active-view access.
 // *core.Node implements it.
@@ -311,6 +323,16 @@ func (n *Node) tryOptimize() {
 	}
 }
 
+// costKnown reports whether the oracle holds a trustworthy estimate for the
+// local node's link to peer. Oracles without the CostKnower extension (the
+// simulator's latency models) know every link.
+func (n *Node) costKnown(peer id.ID) bool {
+	if k, ok := n.oracle.(CostKnower); ok {
+		return k.KnownCost(n.self, peer)
+	}
+	return true
+}
+
 // bestCandidate samples Config.Candidates passive members, skips the
 // unreachable and already-active ones, and returns the cheapest.
 func (n *Node) bestCandidate() (id.ID, uint64, bool) {
@@ -334,7 +356,13 @@ func (n *Node) bestCandidate() (id.ID, uint64, bool) {
 		if n.env.Probe(p) != nil {
 			continue // dead candidate; core's own probes purge it eventually
 		}
-		if c := n.oracle.Cost(n.self, p); !found || c < bestCost {
+		// Query the cost before the known-check: a measuring oracle uses the
+		// query to start measuring the link, so the next attempt is informed.
+		c := n.oracle.Cost(n.self, p)
+		if !n.costKnown(p) {
+			continue
+		}
+		if !found || c < bestCost {
 			best, bestCost, found = p, c, true
 		}
 	}
@@ -351,7 +379,13 @@ func (n *Node) replaceable(active []id.ID, exclude id.ID) (id.ID, uint64, bool) 
 	}
 	links := make([]link, 0, len(active))
 	for _, p := range active {
-		links = append(links, link{peer: p, cost: n.oracle.Cost(n.self, p)})
+		cost := n.oracle.Cost(n.self, p)
+		if !n.costKnown(p) {
+			// Never rank — let alone dissolve — a link the oracle has no
+			// estimate for; the Cost query above started its measurement.
+			continue
+		}
+		links = append(links, link{peer: p, cost: cost})
 	}
 	sort.Slice(links, func(i, j int) bool {
 		if links[i].cost != links[j].cost {
@@ -454,7 +488,8 @@ func (n *Node) onOptimization(from id.ID, m msg.Message) {
 		return
 	}
 	evictee, evicteeCost, ok := n.replaceable(n.inner.Active(), from)
-	if !ok || n.oracle.Cost(n.self, from) >= evicteeCost || n.asCandidate[from] != nil {
+	initiatorCost := n.oracle.Cost(n.self, from)
+	if !ok || !n.costKnown(from) || initiatorCost >= evicteeCost || n.asCandidate[from] != nil {
 		n.send(from, msg.Message{
 			Type: msg.XBotOptimizationReply, Sender: n.self, Subject: m.Subject,
 		})
@@ -533,8 +568,15 @@ func (n *Node) onReplace(from id.ID, m msg.Message) {
 	}
 	// The swap dissolves {i–o, c–d} and creates {i–c, d–o}: accept only on a
 	// strict total-cost improvement (this also rules out swap oscillation).
+	// Both locally measured terms must be genuine estimates — evaluating the
+	// condition with an unknown-cost sentinel would accept or reject swaps
+	// on no evidence (the Cost queries start the measurements either way).
 	costDO := n.oracle.Cost(n.self, old)
 	costCD := n.oracle.Cost(n.self, from)
+	if !n.costKnown(old) || !n.costKnown(from) {
+		reject()
+		return
+	}
 	if m.CostNew+costDO >= m.CostOld+costCD {
 		reject()
 		return

@@ -137,6 +137,65 @@ func newTestNode(self id.ID, cap int, cfg Config, oracle Oracle) (*Node, *stubMe
 	return New(env, m, cfg, oracle), m, env
 }
 
+// partialOracle is a mapOracle that reports some local links as unmeasured,
+// exercising the CostKnower extension a live RTT oracle implements.
+type partialOracle struct {
+	mapOracle
+	unknown map[id.ID]bool // peers whose local link has no estimate yet
+}
+
+func (o partialOracle) KnownCost(a, b id.ID) bool {
+	return !o.unknown[a] && !o.unknown[b]
+}
+
+// TestInitiatorSkipsUnmeasuredLinks: a link without a cost estimate must
+// never be ranked as the replaceable "worst" link — the optimizer would be
+// evicting on no evidence. Here the only expensive link is unmeasured, the
+// rest show no gain, so no attempt starts.
+func TestInitiatorSkipsUnmeasuredLinks(t *testing.T) {
+	oracle := partialOracle{mapOracle: mapOracle{}, unknown: map[id.ID]bool{3: true}}
+	oracle.set(1, 2, 10)  // measured, cheap
+	oracle.set(1, 3, 100) // would be the evictee, but unmeasured
+	oracle.set(1, 4, 20)  // candidate costlier than every measured link
+	n, m, env := newTestNode(1, 2, Config{ProtectTopK: 0}, oracle)
+	n.cfg.ProtectTopK = 0
+	m.active = []id.ID{2, 3}
+	m.passive = []id.ID{4}
+
+	n.OnCycle()
+	if sent, ok := env.lastOfType(msg.XBotOptimization); ok {
+		t.Fatalf("OPTIMIZATION %+v proposed against an unmeasured link", sent.m)
+	}
+	if n.Stats().Attempts != 0 {
+		t.Errorf("attempts = %d, want 0", n.Stats().Attempts)
+	}
+}
+
+// TestDisconnectedRejectsUnmeasuredSwap: d must reject a REPLACE when either
+// of its locally measured terms (c–d, d–o) has no estimate, even though the
+// sentinel arithmetic would otherwise accept.
+func TestDisconnectedRejectsUnmeasuredSwap(t *testing.T) {
+	// Same geometry as TestDisconnectedAcceptsStrictImprovement (60 < 180,
+	// would accept) except the d–o link is unmeasured.
+	oracle := partialOracle{mapOracle: mapOracle{}, unknown: map[id.ID]bool{7: true}}
+	oracle.set(8, 5, 80) // c-d, measured
+	oracle.set(8, 7, 50) // d-o, present but flagged unmeasured
+	n, m, env := newTestNode(8, 2, Config{ProtectTopK: 0}, oracle)
+	n.cfg.ProtectTopK = 0
+	m.active = []id.ID{5, 6}
+	n.Deliver(5, msg.Message{
+		Type: msg.XBotReplace, Sender: 5, Subject: 7, Nodes: []id.ID{9},
+		CostOld: 100, CostNew: 10,
+	})
+	if _, ok := env.lastOfType(msg.XBotSwitch); ok {
+		t.Fatal("SWITCH sent although d-o is unmeasured")
+	}
+	rr, ok := env.lastOfType(msg.XBotReplaceReply)
+	if !ok || rr.m.Accept {
+		t.Fatal("unmeasured swap not rejected")
+	}
+}
+
 func TestInitiatorProposesCheaperCandidate(t *testing.T) {
 	oracle := mapOracle{}
 	oracle.set(1, 2, 10)  // protected cheapest link
