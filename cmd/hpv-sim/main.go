@@ -15,7 +15,11 @@
 // experiment's broadcast layer from flood/fanout gossip to Plumtree;
 // -latency=<model> runs any experiment in event-driven virtual time
 // (uniform, euclidean or transit link latencies); -optimize=xbot runs the
-// X-BOT optimizer alongside HyParView in any experiment.
+// X-BOT optimizer alongside HyParView in any experiment;
+// -shuffle-interval=<ticks> switches HyParView to scheduler-driven periodic
+// shuffle rounds (the paper's ΔT as real timer events) and -duration=<ticks>
+// then expresses the stabilization budget as virtual time instead of a cycle
+// count.
 package main
 
 import (
@@ -48,6 +52,8 @@ func run(args []string, out io.Writer) error {
 		msgs      = fs.Int("msgs", 1000, "messages per burst for fig2 (paper: 1000)")
 		fig3M     = fs.Int("fig3msgs", 100, "messages per series for fig3/fig1c")
 		cycles    = fs.Int("stabilize", 50, "stabilization cycles (paper: 50)")
+		shuffleIv = fs.Uint64("shuffle-interval", 0, "virtual ticks between HyParView shuffle rounds; >0 switches to scheduler-driven periodic mode (rounds are timer events, not external cycles)")
+		duration  = fs.Uint64("duration", 0, "stabilization budget as a virtual-time duration in ticks, rounded up to whole shuffle rounds (requires -shuffle-interval; overrides -stabilize)")
 		fanout    = fs.Int("fanout", 4, "gossip fanout for Cyclon/Scamp (paper: 4)")
 		broadcast = fs.String("broadcast", "gossip", "broadcast layer: gossip (flood/fanout) or plumtree")
 		latency   = fs.String("latency", "none", "latency model: none (FIFO), uniform, euclidean or transit")
@@ -65,6 +71,16 @@ func run(args []string, out io.Writer) error {
 		Seed:                *seed,
 		Fanout:              *fanout,
 		StabilizationCycles: *cycles,
+		ShuffleInterval:     *shuffleIv,
+	}
+	if *duration > 0 {
+		if *shuffleIv == 0 {
+			return fmt.Errorf("-duration requires -shuffle-interval (a duration only has meaning against the shuffle clock)")
+		}
+		// Duration-based methodology: the stabilization budget is virtual
+		// time, expressed as duration/ΔT rounds and rounded up so the run
+		// never stabilizes for less virtual time than asked.
+		opts.StabilizationCycles = int((*duration + *shuffleIv - 1) / *shuffleIv)
 	}
 	switch *broadcast {
 	case "gossip", "flood":

@@ -187,3 +187,38 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestRunDurationMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "fig5", "-n", "120", "-shuffle-interval", "50", "-duration", "500",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("duration-mode run produced no output")
+	}
+}
+
+func TestRunDurationRequiresShuffleInterval(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig5", "-n", "120", "-duration", "500"}, &out); err == nil {
+		t.Error("-duration without -shuffle-interval accepted")
+	}
+}
+
+func TestRunXBotLatencyPercentiles(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "xbot", "-n", "150", "-stabilize", "10", "-fig3msgs", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"lat-p50", "lat-p99"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}

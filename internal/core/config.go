@@ -56,6 +56,18 @@ type Config struct {
 	// (every request is treated as low priority). Used only by the ablation
 	// benchmarks; the paper's protocol always uses priorities.
 	DisablePriority bool
+
+	// ShuffleInterval, when non-zero, makes the node schedule its own
+	// periodic round — shuffle plus active-view repair, the paper's ΔT —
+	// every ShuffleInterval scheduler ticks, registered on the
+	// environment's peer.Scheduler at construction. This is the
+	// paper-faithful periodic mode: rounds are timer events interleaved
+	// with network traffic, identical in the simulator's virtual time and
+	// on the transport's real clock (where one tick is 1ms). Zero keeps
+	// the node externally driven through OnCycle (the simulator's
+	// cycle-driven mode). Not defaulted: the two driving modes are a
+	// deliberate harness choice.
+	ShuffleInterval uint64
 }
 
 // DefaultConfig returns the paper's §5.1 parameters.

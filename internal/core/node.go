@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
@@ -60,13 +62,17 @@ var _ peer.Membership = (*Node)(nil)
 
 // New constructs a HyParView node bound to env. Zero-valued Config fields are
 // filled with the paper's defaults; an invalid configuration panics, as this
-// is a programming error at construction time.
+// is a programming error at construction time. With Config.ShuffleInterval
+// set, the node registers its periodic round on the environment's scheduler
+// here: the resulting TICKSHUFFLE is delivered to the top of the process
+// stack, so broadcast and optimizer layers see it pass through before it
+// lands in OnCycle.
 func New(env peer.Env, cfg Config) *Node {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Node{
+	n := &Node{
 		env:         env,
 		self:        env.Self(),
 		cfg:         cfg,
@@ -74,6 +80,12 @@ func New(env peer.Env, cfg Config) *Node {
 		passive:     view.New(cfg.PassiveSize),
 		repairTried: make(map[id.ID]bool),
 	}
+	if cfg.ShuffleInterval > 0 {
+		env.Every(cfg.ShuffleInterval, msg.Message{
+			Type: msg.Tick, Sender: n.self, Round: msg.TickShuffle,
+		})
+	}
+	return n
 }
 
 // Join bootstraps this node into the overlay through contact (paper §4.2).
@@ -192,6 +204,13 @@ func (n *Node) Deliver(from id.ID, m msg.Message) {
 		n.handleShuffle(m)
 	case msg.ShuffleReply:
 		n.handleShuffleReply(m)
+	case msg.Tick:
+		// The node's own scheduled periodic round (Config.ShuffleInterval);
+		// ticks of other kinds belong to other layers and are ignored here,
+		// the bottom of the stack.
+		if m.Round == msg.TickShuffle && from == n.self {
+			n.OnCycle()
+		}
 	default:
 		// Unknown or non-membership message: ignore. The gossip layer
 		// dispatches broadcast traffic before it reaches us.
@@ -248,7 +267,9 @@ func (n *Node) handleForwardJoin(m msg.Message) {
 	fwd.Sender = n.self
 	fwd.TTL = m.TTL - 1
 	if err := n.env.Send(next, fwd); err != nil {
-		n.OnPeerDown(next)
+		if errors.Is(err, peer.ErrPeerDown) {
+			n.OnPeerDown(next)
+		}
 		n.connectTo(newNode)
 	}
 }
@@ -350,7 +371,7 @@ func (n *Node) handleNeighbor(from id.ID, prio msg.Priority) {
 		Type:   msg.NeighborReply,
 		Sender: n.self,
 		Accept: accept,
-	}); err != nil {
+	}); errors.Is(err, peer.ErrPeerDown) {
 		n.OnPeerDown(from)
 	}
 }
@@ -406,9 +427,13 @@ func (n *Node) startRepair() {
 			Sender:   n.self,
 			Priority: prio,
 		}); err != nil {
-			n.passive.Remove(candidate)
-			n.stats.PassiveEvictions++
-			continue
+			if errors.Is(err, peer.ErrPeerDown) {
+				n.passive.Remove(candidate)
+				n.stats.PassiveEvictions++
+				continue
+			}
+			// Overloaded, not dead: retry the episode next cycle.
+			return
 		}
 		n.pendingNeighbor = candidate
 		return
@@ -478,7 +503,7 @@ func (n *Node) initiateShuffle() {
 		Subject: n.self, // walk origin
 		TTL:     n.cfg.ShuffleTTL,
 		Nodes:   list,
-	}); err != nil {
+	}); errors.Is(err, peer.ErrPeerDown) {
 		n.OnPeerDown(target)
 	}
 }
@@ -503,8 +528,9 @@ func (n *Node) handleShuffle(m msg.Message) {
 			if err := n.env.Send(next, fwd); err == nil {
 				n.stats.ShufflesRelayed++
 				return
+			} else if errors.Is(err, peer.ErrPeerDown) {
+				n.OnPeerDown(next)
 			}
-			n.OnPeerDown(next)
 		}
 	}
 	// Accept: reply with an equally sized random passive sample over a
@@ -561,9 +587,12 @@ func (n *Node) evictSent(sent []id.ID) ([]id.ID, bool) {
 	return nil, false
 }
 
-// sendOrFail sends m to dst, invoking failure handling on error.
+// sendOrFail sends m to dst, invoking failure handling when the send proved
+// the peer down. Other send errors (the simulator's queue-overflow
+// degradation) just lose the message: treating them as failures would tear
+// down healthy links en masse exactly when the network is overloaded.
 func (n *Node) sendOrFail(dst id.ID, m msg.Message) {
-	if err := n.env.Send(dst, m); err != nil {
+	if err := n.env.Send(dst, m); errors.Is(err, peer.ErrPeerDown) {
 		n.OnPeerDown(dst)
 	}
 }

@@ -7,11 +7,13 @@ import (
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
+	"hyparview/internal/peer/peertest"
 	"hyparview/internal/rng"
 )
 
 // fakeEnv is a scriptable peer.Env for message-by-message handler tests.
 type fakeEnv struct {
+	peertest.ManualScheduler
 	self    id.ID
 	rand    *rng.Rand
 	down    map[id.ID]bool

@@ -7,11 +7,13 @@ import (
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
+	"hyparview/internal/peer/peertest"
 	"hyparview/internal/rng"
 )
 
 // fakeEnv is a scriptable peer.Env (mirrors the one in package core's tests).
 type fakeEnv struct {
+	peertest.ManualScheduler
 	self id.ID
 	rand *rng.Rand
 	down map[id.ID]bool

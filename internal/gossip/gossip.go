@@ -17,6 +17,8 @@
 package gossip
 
 import (
+	"errors"
+
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
@@ -196,10 +198,12 @@ func (n *Node) forward(from id.ID, m msg.Message) {
 	for _, t := range targets {
 		if err := n.env.Send(t, m); err != nil {
 			n.sendFails++
-			if n.cfg.ReportPeerDown {
+			if n.cfg.ReportPeerDown && errors.Is(err, peer.ErrPeerDown) {
 				// This is the paper's failure-detection moment: the entire
 				// broadcast overlay is implicitly tested at every broadcast
-				// (§4.1 item iii).
+				// (§4.1 item iii). Only a proven-down peer is reported —
+				// an overloaded simulator (queue overflow) loses the copy
+				// without indicting the link.
 				n.membership.OnPeerDown(t)
 			}
 			continue

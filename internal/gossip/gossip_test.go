@@ -7,6 +7,7 @@ import (
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
+	"hyparview/internal/peer/peertest"
 	"hyparview/internal/rng"
 )
 
@@ -40,6 +41,7 @@ func (f *fakeMembership) GossipTargets(fanout int, exclude id.ID) []id.ID {
 
 // fakeEnv records sends.
 type fakeEnv struct {
+	peertest.ManualScheduler
 	self id.ID
 	rand *rng.Rand
 	down map[id.ID]bool

@@ -73,7 +73,29 @@ const (
 	Ping
 	Pong
 
+	// Tick is a scheduler-delivered local timer message (peer.Scheduler).
+	// Environments deliver it to the local process with sender == self; it
+	// never crosses the wire. Each protocol layer recognizes its own ticks
+	// by the kind carried in Round (see the Tick* constants) and passes
+	// every other kind down the stack, so one registration drives periodic
+	// behavior at exactly one layer.
+	Tick
+
 	maxType
+)
+
+// Tick kinds, carried in Message.Round. The registry is shared across the
+// protocol stack so that one layer's timer is never mistaken for another's as
+// a tick descends from the broadcast layer to the membership core.
+const (
+	// TickShuffle drives one HyParView periodic round: shuffle plus active
+	// view repair (internal/core, paper §4.2/§4.4).
+	TickShuffle uint64 = iota + 1
+	// TickXBotOptimize starts one X-BOT optimization attempt (internal/xbot).
+	TickXBotOptimize
+	// TickXBotExpire sweeps X-BOT's outstanding swap handshakes, dropping
+	// the ones whose deadline has passed (internal/xbot).
+	TickXBotExpire
 )
 
 var typeNames = [...]string{
@@ -109,6 +131,7 @@ var typeNames = [...]string{
 
 	Ping: "PING",
 	Pong: "PONG",
+	Tick: "TICK",
 }
 
 // String returns the conventional upper-case name of the message type.

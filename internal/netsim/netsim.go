@@ -4,23 +4,42 @@
 //
 // Model:
 //
-//   - Nodes are identified by id.ID and host a peer.Process.
-//   - Send enqueues a message onto a global FIFO queue; Drain pops and
-//     delivers messages one at a time, synchronously, until the queue is
-//     empty. Within one Drain the simulation is single-threaded and
-//     completely deterministic given the seed.
+//   - Nodes are identified by id.ID and host a peer.Process. Internally the
+//     simulator keys everything by a dense node index: the id→index map is
+//     consulted once per Send, and the hot delivery path is pure slice
+//     access, which is what makes 100k-node populations practical.
+//   - All deliveries flow through a single timestamped event heap ordered by
+//     (virtual time, send sequence). Without a latency model every message
+//     is scheduled with delay 0, so heap order degenerates to exactly the
+//     old FIFO order; with a Latency function installed, messages are
+//     delayed per link and the virtual clock advances to each event's
+//     timestamp. Event payloads live in a pooled slab recycled through a
+//     free list, so a long run allocates no per-event garbage beyond the
+//     messages themselves.
+//   - The simulator implements peer.Scheduler: protocols schedule one-shot
+//     timers (After) and periodic rounds (Every) as self-addressed messages
+//     on the same heap, interleaved in time order with network traffic.
 //   - Send and Probe to a failed node return peer.ErrPeerDown to the caller
 //     immediately. This models TCP's connect/reset failure signal, the
 //     failure detector HyParView relies on. Lossy protocols simply ignore
 //     the error, modelling fire-and-forget datagrams.
-//   - RunCycle invokes OnCycle on every live node in a seeded random order,
-//     draining the queue after each node, mirroring PeerSim's cycle-driven
-//     mode with immediate message processing.
+//   - Drain runs until no messages or one-shot timers remain, advancing the
+//     clock as needed, with the periodic schedule frozen: Every-registered
+//     rounds fire only inside RunFor windows. The split is what keeps Drain
+//     terminating — under a latency model, self-sustaining periodic rounds
+//     plus delayed traffic would otherwise never quiesce — and it matches
+//     the paper's methodology, whose bursts run "with no membership cycles
+//     in between". RunFor advances virtual time by a fixed duration, firing
+//     everything — periodic rounds included — that falls inside the window,
+//     in timestamp order across both schedules. RunCycle invokes OnCycle on
+//     every live node in a seeded random order for the legacy
+//     externally-driven cycle mode.
 //
 // The simulator is not safe for concurrent use; experiments own one Sim each.
 package netsim
 
 import (
+	"errors"
 	"fmt"
 
 	"hyparview/internal/id"
@@ -29,20 +48,49 @@ import (
 	"hyparview/internal/rng"
 )
 
-// event is one queued message delivery. at/seq order deliveries when a
-// latency model is installed; in FIFO mode both stay zero/monotonic.
+// ErrOverflow is returned (wrapped) by Send when the in-flight event limit
+// is exceeded. Overflowed events are counted in Stats.Overflowed and dropped,
+// so runaway message storms degrade the run instead of crashing it.
+var ErrOverflow = errors.New("netsim: event queue limit exceeded")
+
+// Event kinds: wire traffic versus scheduler deliveries.
+const (
+	kindMessage  uint8 = iota // network message (counted in wire stats, Tapped)
+	kindTimer                 // one-shot scheduler delivery (peer.Scheduler.After)
+	kindPeriodic              // periodic scheduler delivery (re-arms itself)
+)
+
+// event is the pooled payload of one scheduled delivery.
 type event struct {
-	from, to id.ID
+	from     id.ID // sender identity handed to Deliver (self for timers)
+	to       int32 // destination node index
+	kind     uint8
+	interval uint64 // re-arm interval for kindPeriodic
 	m        msg.Message
-	at       uint64 // virtual delivery time
-	seq      uint64 // tiebreaker preserving send order
 }
 
-// node is the simulator's per-node bookkeeping.
-type node struct {
+// heapEvent is the compact ordering record kept on the heap; the bulky event
+// body stays put in the slab while these 24-byte records are sifted.
+type heapEvent struct {
+	at   uint64 // virtual delivery time
+	seq  uint64 // tiebreaker preserving scheduling order
+	slot int32  // slab index
+}
+
+// simNode is the simulator's per-node bookkeeping, stored by value in a
+// dense index-ordered table.
+type simNode struct {
+	id    id.ID
 	proc  peer.Process
 	rand  *rng.Rand
 	alive bool
+
+	// parked holds scheduler events (one-shot timers, periodic
+	// registrations) that came due while the node was failed. They are
+	// re-scheduled on Revive: dropping them would wedge timer-owning state
+	// machines forever, and re-arming a dead node's periodic rounds would
+	// burn heap work delivering nothing for the rest of the run.
+	parked []event
 }
 
 // Stats aggregates counters over the lifetime of a Sim.
@@ -55,6 +103,10 @@ type Stats struct {
 	Dropped uint64
 	// SendFailures counts Send/Probe calls rejected with ErrPeerDown.
 	SendFailures uint64
+	// Overflowed counts events rejected by the MaxQueue limit: the send is
+	// dropped and reported with ErrOverflow instead of crashing the run, so
+	// massive-failure experiments degrade gracefully under message storms.
+	Overflowed uint64
 	// BytesSent sums the wire-encoded size of every enqueued message,
 	// supporting the packet-overhead measurements the paper planned for
 	// PlanetLab (§6).
@@ -64,11 +116,18 @@ type Stats struct {
 // Sim is a deterministic event-driven network simulator.
 type Sim struct {
 	rand  *rng.Rand
-	nodes map[id.ID]*node
-	order []id.ID // insertion order; basis for deterministic iteration
-	queue []event
-	head  int
+	nodes []simNode       // dense node table in insertion order
+	index map[id.ID]int32 // id → node table index
 	stats Stats
+
+	heap  []heapEvent // messages and one-shot timers
+	pheap []heapEvent // periodic rounds: fired only by RunFor
+	slab  []event
+	free  []int32 // recycled slab slots
+	wire  int     // in-flight network messages, the population MaxQueue bounds
+
+	now uint64 // virtual clock
+	seq uint64 // scheduling sequence for deterministic tie-breaking
 
 	// watchers maps a watched node to the set of nodes holding an open
 	// connection to it; when it fails, live watchers implementing
@@ -85,32 +144,30 @@ type Sim struct {
 
 	// MaxQueue bounds the number of in-flight events as a safety net
 	// against protocol bugs that generate message storms. Zero means the
-	// default (64M events).
+	// default (64M events). Excess events are dropped and counted in
+	// Stats.Overflowed; Send reports them with ErrOverflow.
 	MaxQueue int
 
-	// Tap, when non-nil, observes every delivered message (after liveness
-	// filtering, before the process handles it). Used by tests and the
-	// trace recorder; it must not mutate the simulation.
+	// Tap, when non-nil, observes every delivered network message (after
+	// liveness filtering, before the process handles it). Scheduler
+	// deliveries — local timers — are not wire traffic and are not tapped.
+	// Used by tests and the trace recorder; it must not mutate the
+	// simulation.
 	Tap func(from, to id.ID, m msg.Message)
 
-	// Latency, when non-nil, switches the simulator from FIFO delivery to
-	// event-driven virtual time: every message is delayed by
-	// Latency(from, to) abstract ticks and deliveries happen in timestamp
-	// order (send order breaks ties). The function may draw from the rand
-	// it is handed to model jitter; determinism is preserved. The paper's
-	// experiments measure hops, not wall time, and run in FIFO mode.
+	// Latency, when non-nil, delays every message by Latency(from, to)
+	// abstract ticks. The function may draw from the rand it is handed to
+	// model jitter; determinism is preserved. When nil, messages are
+	// scheduled with delay 0 — the classic FIFO mode the paper's hop-count
+	// experiments run in (they measure hops, not wall time).
 	Latency func(from, to id.ID, r *rng.Rand) uint64
-
-	now   uint64 // virtual clock (advances only in latency mode)
-	seq   uint64 // send sequence for deterministic tie-breaking
-	lheap []event
 }
 
 // New returns an empty simulator seeded with seed.
 func New(seed uint64) *Sim {
 	return &Sim{
 		rand:     rng.New(seed),
-		nodes:    make(map[id.ID]*node),
+		index:    make(map[id.ID]int32),
 		watchers: make(map[id.ID]map[id.ID]struct{}),
 	}
 }
@@ -119,6 +176,7 @@ func New(seed uint64) *Sim {
 type Endpoint struct {
 	sim  *Sim
 	self id.ID
+	idx  int32
 	rand *rng.Rand
 }
 
@@ -138,12 +196,35 @@ func (e *Endpoint) Send(dst id.ID, m msg.Message) error {
 
 // Probe reports whether a connection to dst could be established.
 func (e *Endpoint) Probe(dst id.ID) error {
-	n, ok := e.sim.nodes[dst]
-	if !ok || !n.alive || !e.sim.reachable(e.self, dst) {
-		e.sim.stats.SendFailures++
+	s := e.sim
+	ti, ok := s.index[dst]
+	if !ok || !s.nodes[ti].alive || !s.reachable(e.self, dst) {
+		s.stats.SendFailures++
 		return fmt.Errorf("probe %v: %w", dst, peer.ErrPeerDown)
 	}
 	return nil
+}
+
+// Now implements peer.Scheduler: the virtual clock in ticks.
+func (e *Endpoint) Now() uint64 { return e.sim.now }
+
+// After implements peer.Scheduler: m is delivered to this node's process,
+// with from == Self, once delay virtual ticks have elapsed — behind all
+// traffic already scheduled at the current instant when delay is zero.
+// Infallible: timers bypass the MaxQueue limit (see schedule).
+func (e *Endpoint) After(delay uint64, m msg.Message) {
+	_ = e.sim.schedule(e.self, e.idx, kindTimer, delay, 0, m)
+}
+
+// Every implements peer.Scheduler: m is delivered to this node's process
+// every interval ticks, first firing one interval from now. The registration
+// lives as long as the simulation; deliveries skip the node while it is
+// failed.
+func (e *Endpoint) Every(interval uint64, m msg.Message) {
+	if interval == 0 {
+		interval = 1
+	}
+	_ = e.sim.schedule(e.self, e.idx, kindPeriodic, interval, interval, m)
 }
 
 // Watch registers this node for failure notifications about dst, modelling
@@ -169,88 +250,130 @@ func (e *Endpoint) Unwatch(dst id.ID) {
 
 // Add registers a new live node and constructs its process via factory,
 // which receives the node's environment. Add panics on duplicate ids: that
-// is always a harness bug.
+// is always a harness bug. The factory may already use the environment's
+// scheduler (periodic protocols register their rounds at construction).
 func (s *Sim) Add(nodeID id.ID, factory func(peer.Env) peer.Process) {
 	if nodeID.IsNil() {
 		panic("netsim: cannot add nil node id")
 	}
-	if _, dup := s.nodes[nodeID]; dup {
+	if _, dup := s.index[nodeID]; dup {
 		panic(fmt.Sprintf("netsim: duplicate node %v", nodeID))
 	}
-	ep := &Endpoint{sim: s, self: nodeID, rand: s.rand.Split()}
-	s.nodes[nodeID] = &node{proc: factory(ep), rand: ep.rand, alive: true}
-	s.order = append(s.order, nodeID)
+	idx := int32(len(s.nodes))
+	ep := &Endpoint{sim: s, self: nodeID, idx: idx, rand: s.rand.Split()}
+	s.nodes = append(s.nodes, simNode{id: nodeID, rand: ep.rand, alive: true})
+	s.index[nodeID] = idx
+	s.nodes[idx].proc = factory(ep)
 }
 
 // send implements Endpoint.Send.
 func (s *Sim) send(from, to id.ID, m msg.Message) error {
-	dst, ok := s.nodes[to]
-	if !ok || !dst.alive || !s.reachable(from, to) {
+	ti, ok := s.index[to]
+	if !ok || !s.nodes[ti].alive || !s.reachable(from, to) {
 		s.stats.SendFailures++
 		return fmt.Errorf("send %v->%v: %w", from, to, peer.ErrPeerDown)
 	}
-	limit := s.MaxQueue
-	if limit <= 0 {
-		limit = 64 << 20
-	}
-	if len(s.queue)-s.head+len(s.lheap) >= limit {
-		panic("netsim: event queue limit exceeded (message storm?)")
-	}
-	s.seq++
-	ev := event{from: from, to: to, m: m, seq: s.seq}
+	var delay uint64
 	if s.Latency != nil {
-		ev.at = s.now + s.Latency(from, to, s.rand)
-		s.pushEvent(ev)
-	} else {
-		s.queue = append(s.queue, ev)
+		delay = s.Latency(from, to, s.rand)
+	}
+	if err := s.schedule(from, ti, kindMessage, delay, 0, m); err != nil {
+		return err
 	}
 	s.stats.Sent++
 	s.stats.BytesSent += uint64(msg.EncodedSize(m))
 	return nil
 }
 
-// Now returns the virtual clock; it only advances in latency mode.
+// schedule places one event on its heap, drawing its body from the slab
+// pool. Only network messages are subject to the MaxQueue limit: they are
+// what a storm amplifies, while scheduler deliveries are bounded by protocol
+// state (one timer per missing round, one registration per periodic task) —
+// dropping those would wedge timer-owning state machines forever (an armed
+// Plumtree timer that never fires blocks that round's repair permanently),
+// so After/Every stay genuinely infallible as the contract promises.
+func (s *Sim) schedule(from id.ID, to int32, kind uint8, delay, interval uint64, m msg.Message) error {
+	if kind == kindMessage {
+		limit := s.MaxQueue
+		if limit <= 0 {
+			limit = 64 << 20
+		}
+		if s.wire >= limit {
+			s.stats.Overflowed++
+			return fmt.Errorf("%w: %d messages in flight (message storm?)", ErrOverflow, s.wire)
+		}
+		s.wire++
+	}
+	slot := s.newSlot()
+	s.slab[slot] = event{from: from, to: to, kind: kind, interval: interval, m: m}
+	s.seq++
+	he := heapEvent{at: s.now + delay, seq: s.seq, slot: slot}
+	if kind == kindPeriodic {
+		push(&s.pheap, he)
+	} else {
+		push(&s.heap, he)
+	}
+	return nil
+}
+
+// newSlot takes a free slab slot, growing the slab when the pool is dry.
+func (s *Sim) newSlot() int32 {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		return slot
+	}
+	s.slab = append(s.slab, event{})
+	return int32(len(s.slab) - 1)
+}
+
+// Now returns the virtual clock in ticks. It advances whenever an event with
+// a later timestamp is processed (latency-mode traffic, scheduler timers) and
+// jumps to the end of every RunFor window.
 func (s *Sim) Now() uint64 { return s.now }
 
-// pushEvent inserts ev into the latency min-heap (ordered by at, then seq).
-func (s *Sim) pushEvent(ev event) {
-	s.lheap = append(s.lheap, ev)
-	i := len(s.lheap) - 1
+// push inserts he into h (min-ordered by at, then seq).
+func push(h *[]heapEvent, he heapEvent) {
+	*h = append(*h, he)
+	s := *h
+	i := len(s) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !eventLess(s.lheap[i], s.lheap[parent]) {
+		if !eventLess(s[i], s[parent]) {
 			break
 		}
-		s.lheap[i], s.lheap[parent] = s.lheap[parent], s.lheap[i]
+		s[i], s[parent] = s[parent], s[i]
 		i = parent
 	}
 }
 
-// popEvent removes the earliest event from the latency heap.
-func (s *Sim) popEvent() event {
-	top := s.lheap[0]
-	last := len(s.lheap) - 1
-	s.lheap[0] = s.lheap[last]
-	s.lheap = s.lheap[:last]
+// pop removes the earliest event record from h.
+func pop(h *[]heapEvent) heapEvent {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < len(s.lheap) && eventLess(s.lheap[l], s.lheap[smallest]) {
+		if l < len(s) && eventLess(s[l], s[smallest]) {
 			smallest = l
 		}
-		if r < len(s.lheap) && eventLess(s.lheap[r], s.lheap[smallest]) {
+		if r < len(s) && eventLess(s[r], s[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
 			return top
 		}
-		s.lheap[i], s.lheap[smallest] = s.lheap[smallest], s.lheap[i]
+		s[i], s[smallest] = s[smallest], s[i]
 		i = smallest
 	}
 }
 
-func eventLess(a, b event) bool {
+func eventLess(a, b heapEvent) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -275,8 +398,10 @@ func (s *Sim) flushDowns() {
 		if len(ws) == 0 {
 			continue
 		}
-		vNode := s.nodes[victim]
-		vDead := vNode == nil || !vNode.alive
+		vDead := true
+		if vi, ok := s.index[victim]; ok && s.nodes[vi].alive {
+			vDead = false
+		}
 		// Deterministic notification order.
 		watcherIDs := make([]id.ID, 0, len(ws))
 		for w := range ws {
@@ -284,8 +409,8 @@ func (s *Sim) flushDowns() {
 		}
 		sortIDs(watcherIDs)
 		for _, w := range watcherIDs {
-			n := s.nodes[w]
-			if n == nil || !n.alive {
+			wi, ok := s.index[w]
+			if !ok || !s.nodes[wi].alive {
 				delete(ws, w) // dead watchers never hear anything again
 				continue
 			}
@@ -295,7 +420,7 @@ func (s *Sim) flushDowns() {
 				continue
 			}
 			delete(ws, w)
-			if obs, ok := n.proc.(peer.FailureObserver); ok {
+			if obs, ok := s.nodes[wi].proc.(peer.FailureObserver); ok {
 				obs.OnPeerDown(victim)
 			}
 		}
@@ -305,83 +430,120 @@ func (s *Sim) flushDowns() {
 	}
 }
 
-// Drain delivers queued messages until the queue is empty and returns the
-// number of messages delivered. Deliveries may enqueue further messages;
-// those are processed too.
-func (s *Sim) Drain() int {
-	if s.Latency != nil {
-		return s.drainTimed()
+// fire processes one popped event, advancing the clock to its timestamp.
+// It returns 1 when a process received a delivery, 0 when the event was
+// dropped (dead or unreachable destination).
+func (s *Sim) fire(he heapEvent) int {
+	ev := s.slab[he.slot]
+	s.slab[he.slot] = event{} // release message memory to the GC
+	s.free = append(s.free, he.slot)
+	if ev.kind == kindMessage {
+		s.wire--
 	}
-	delivered := 0
-	s.flushDowns()
-	for s.head < len(s.queue) {
-		ev := s.queue[s.head]
-		s.head++
-		dst := s.nodes[ev.to]
-		if dst == nil || !dst.alive {
+	if he.at > s.now {
+		s.now = he.at
+	}
+	dst := &s.nodes[ev.to]
+	if !dst.alive {
+		switch ev.kind {
+		case kindMessage:
 			// Destination died while the message was in flight.
 			s.stats.Dropped++
-			continue
+		default:
+			// Scheduler state survives the failure: park the timer or
+			// registration for Revive instead of dropping it (see simNode).
+			dst.parked = append(dst.parked, ev)
+		}
+		return 0
+	}
+	if ev.kind == kindPeriodic {
+		// Re-arm before delivering so the cadence is unaffected by whatever
+		// the handler schedules. A round whose deadline the clock has
+		// already passed (Drain advanced time while the periodic schedule
+		// was frozen) drops the missed firings, like time.Ticker.
+		next := he.at + ev.interval
+		if next <= s.now {
+			next = s.now + ev.interval
+		}
+		s.seq++
+		slot := s.newSlot()
+		s.slab[slot] = ev
+		push(&s.pheap, heapEvent{at: next, seq: s.seq, slot: slot})
+	}
+	if ev.kind == kindMessage {
+		if !s.reachable(ev.from, dst.id) {
+			s.stats.Dropped++ // the network cut while in flight
+			return 0
 		}
 		if s.Tap != nil {
-			s.Tap(ev.from, ev.to, ev.m)
+			s.Tap(ev.from, dst.id, ev.m)
 		}
-		dst.proc.Deliver(ev.from, ev.m)
+	}
+	dst.proc.Deliver(ev.from, ev.m)
+	if ev.kind == kindMessage {
 		s.stats.Delivered++
-		delivered++
-		if s.head == len(s.queue) {
-			// Queue fully consumed: reset storage so it does not grow
-			// without bound across the run.
-			s.queue = s.queue[:0]
-			s.head = 0
-		}
 	}
-	if s.head > 0 {
-		// The loop can exit right after a dropped message without passing
-		// the in-loop compaction; reset here so storage never accretes a
-		// consumed prefix across Drain calls.
-		s.queue = s.queue[:0]
-		s.head = 0
-	}
-	return delivered
+	return 1
 }
 
-// drainTimed is Drain in latency mode: deliveries happen in virtual-time
-// order and the clock advances to each event's timestamp.
-func (s *Sim) drainTimed() int {
+// Drain delivers events until no messages or one-shot timers remain and
+// returns the number of deliveries made. Deliveries may enqueue further
+// events; those are processed too, with the virtual clock advancing to each
+// event's timestamp. The periodic schedule is frozen for the duration: a
+// Drain is the instantaneous-convergence operator of the paper's
+// methodology ("no membership cycles in between"), and letting
+// self-sustaining rounds fire here would keep a latency-model run from ever
+// quiescing. Periodic rounds fire in RunFor.
+func (s *Sim) Drain() int {
 	delivered := 0
 	s.flushDowns()
-	for len(s.lheap) > 0 {
-		ev := s.popEvent()
-		if ev.at > s.now {
-			s.now = ev.at
-		}
-		dst := s.nodes[ev.to]
-		if dst == nil || !dst.alive || !s.reachable(ev.from, ev.to) {
-			// Destination died (or the network cut) while in flight.
-			s.stats.Dropped++
-			continue
-		}
-		if s.Tap != nil {
-			s.Tap(ev.from, ev.to, ev.m)
-		}
-		dst.proc.Deliver(ev.from, ev.m)
-		s.stats.Delivered++
-		delivered++
+	for len(s.heap) > 0 {
+		delivered += s.fire(pop(&s.heap))
 		s.flushDowns()
 	}
 	return delivered
 }
 
+// RunFor advances virtual time by d ticks, processing every event — periodic
+// rounds included, interleaved in timestamp order with traffic — that falls
+// inside the window, and returns the number of deliveries made. The clock
+// lands exactly on Now()+d, so back-to-back RunFor calls tile time without
+// gaps; traffic scheduled beyond the window stays pending for the next
+// RunFor or Drain.
+func (s *Sim) RunFor(d uint64) int {
+	target := s.now + d
+	delivered := 0
+	s.flushDowns()
+	for {
+		hasOnce := len(s.heap) > 0 && s.heap[0].at <= target
+		hasPeriodic := len(s.pheap) > 0 && s.pheap[0].at <= target
+		var he heapEvent
+		switch {
+		case hasOnce && (!hasPeriodic || eventLess(s.heap[0], s.pheap[0])):
+			he = pop(&s.heap)
+		case hasPeriodic:
+			he = pop(&s.pheap)
+		default:
+			if target > s.now {
+				s.now = target
+			}
+			return delivered
+		}
+		delivered += s.fire(he)
+		s.flushDowns()
+	}
+}
+
 // RunCycle executes one membership protocol cycle: every live node's OnCycle
-// hook runs once, in seeded random order, with the message queue drained
-// after each hook (PeerSim cycle-driven semantics).
+// hook runs once, in seeded random order, with the event heap drained
+// after each hook (PeerSim cycle-driven semantics). Protocols that schedule
+// their own periodic rounds are driven with RunFor instead.
 func (s *Sim) RunCycle() {
 	alive := s.AliveIDs()
 	s.rand.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
 	for _, nodeID := range alive {
-		n := s.nodes[nodeID]
-		if n == nil || !n.alive {
+		n := &s.nodes[s.index[nodeID]]
+		if !n.alive {
 			continue // may have "failed" mid-cycle in churn scenarios
 		}
 		n.proc.OnCycle()
@@ -400,11 +562,11 @@ func (s *Sim) RunCycles(count int) {
 // future sends to it fail with peer.ErrPeerDown, and nodes watching it (open
 // TCP connections) receive an OnPeerDown notification at the next Drain.
 func (s *Sim) Fail(nodeID id.ID) {
-	n, ok := s.nodes[nodeID]
-	if !ok || !n.alive {
+	ni, ok := s.index[nodeID]
+	if !ok || !s.nodes[ni].alive {
 		return
 	}
-	n.alive = false
+	s.nodes[ni].alive = false
 	if len(s.watchers[nodeID]) > 0 {
 		s.pendingDowns = append(s.pendingDowns, nodeID)
 	}
@@ -412,25 +574,42 @@ func (s *Sim) Fail(nodeID id.ID) {
 
 // Revive marks a previously failed node as live again. The process state is
 // whatever it was at crash time; protocols that need a clean restart should
-// be re-added under a fresh id instead.
+// be re-added under a fresh id instead. Scheduler events that came due
+// during the outage are re-scheduled: parked one-shot timers fire behind
+// the traffic now in flight, parked periodic registrations resume one
+// interval from now.
 func (s *Sim) Revive(nodeID id.ID) {
-	if n, ok := s.nodes[nodeID]; ok {
-		n.alive = true
+	ni, ok := s.index[nodeID]
+	if !ok || s.nodes[ni].alive {
+		return
+	}
+	s.nodes[ni].alive = true
+	parked := s.nodes[ni].parked
+	s.nodes[ni].parked = nil
+	for _, ev := range parked {
+		s.seq++
+		slot := s.newSlot()
+		s.slab[slot] = ev
+		if ev.kind == kindPeriodic {
+			push(&s.pheap, heapEvent{at: s.now + ev.interval, seq: s.seq, slot: slot})
+		} else {
+			push(&s.heap, heapEvent{at: s.now, seq: s.seq, slot: slot})
+		}
 	}
 }
 
 // Alive reports whether nodeID exists and has not failed.
 func (s *Sim) Alive(nodeID id.ID) bool {
-	n, ok := s.nodes[nodeID]
-	return ok && n.alive
+	ni, ok := s.index[nodeID]
+	return ok && s.nodes[ni].alive
 }
 
 // AliveIDs returns the identifiers of all live nodes in insertion order.
 func (s *Sim) AliveIDs() []id.ID {
-	out := make([]id.ID, 0, len(s.order))
-	for _, nodeID := range s.order {
-		if s.nodes[nodeID].alive {
-			out = append(out, nodeID)
+	out := make([]id.ID, 0, len(s.nodes))
+	for i := range s.nodes {
+		if s.nodes[i].alive {
+			out = append(out, s.nodes[i].id)
 		}
 	}
 	return out
@@ -438,16 +617,18 @@ func (s *Sim) AliveIDs() []id.ID {
 
 // IDs returns all node identifiers (live and failed) in insertion order.
 func (s *Sim) IDs() []id.ID {
-	out := make([]id.ID, len(s.order))
-	copy(out, s.order)
+	out := make([]id.ID, len(s.nodes))
+	for i := range s.nodes {
+		out[i] = s.nodes[i].id
+	}
 	return out
 }
 
 // AliveCount returns the number of live nodes.
 func (s *Sim) AliveCount() int {
 	c := 0
-	for _, n := range s.nodes {
-		if n.alive {
+	for i := range s.nodes {
+		if s.nodes[i].alive {
 			c++
 		}
 	}
@@ -456,11 +637,11 @@ func (s *Sim) AliveCount() int {
 
 // Process returns the process hosted at nodeID, or nil if unknown.
 func (s *Sim) Process(nodeID id.ID) peer.Process {
-	n, ok := s.nodes[nodeID]
+	ni, ok := s.index[nodeID]
 	if !ok {
 		return nil
 	}
-	return n.proc
+	return s.nodes[ni].proc
 }
 
 // Rand returns the simulator's root random stream (used by harnesses to pick
@@ -470,8 +651,9 @@ func (s *Sim) Rand() *rng.Rand { return s.rand }
 // Stats returns a copy of the simulator's counters.
 func (s *Sim) Stats() Stats { return s.stats }
 
-// Pending returns the number of queued, undelivered messages.
-func (s *Sim) Pending() int { return len(s.queue) - s.head }
+// Pending returns the number of queued, undelivered messages and one-shot
+// timers (periodic registrations are standing and not counted).
+func (s *Sim) Pending() int { return len(s.heap) }
 
 // reachable reports whether traffic may flow from a to b under the current
 // partition (the harness is responsible for injecting reset notifications
@@ -489,9 +671,9 @@ func (s *Sim) reachable(a, b id.ID) bool {
 // notifications at the next Drain, just as crashes do — a network cut looks
 // exactly like peer death to TCP. Call Heal to remove the partition.
 func (s *Sim) Partition(assign func(id.ID) int) {
-	s.partition = make(map[id.ID]int, len(s.order))
-	for _, nodeID := range s.order {
-		s.partition[nodeID] = assign(nodeID)
+	s.partition = make(map[id.ID]int, len(s.nodes))
+	for i := range s.nodes {
+		s.partition[s.nodes[i].id] = assign(s.nodes[i].id)
 	}
 	// Break watched links that now cross the cut.
 	for watchedNode, ws := range s.watchers {

@@ -257,18 +257,34 @@ func TestNilAddPanics(t *testing.T) {
 	addRecorder(s, id.Nil)
 }
 
-func TestQueueLimitPanics(t *testing.T) {
+func TestQueueLimitDropsWithErrorAndStat(t *testing.T) {
 	s := New(1)
 	s.MaxQueue = 4
 	addRecorder(s, 1)
-	addRecorder(s, 2)
-	defer func() {
-		if recover() == nil {
-			t.Error("queue overflow did not panic")
-		}
-	}()
+	b := addRecorder(s, 2)
+	var firstErr error
 	for i := 0; i < 10; i++ {
-		_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip})
+		if err := s.Inject(1, 2, msg.Message{Type: msg.Gossip}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if !errors.Is(firstErr, ErrOverflow) {
+		t.Fatalf("overflow err = %v, want ErrOverflow", firstErr)
+	}
+	if errors.Is(firstErr, peer.ErrPeerDown) {
+		t.Fatal("overflow must be distinguishable from peer death: protocols gate failure detection on ErrPeerDown")
+	}
+	st := s.Stats()
+	if st.Overflowed != 6 {
+		t.Errorf("Overflowed = %d, want 6 (10 sends, 4 slots)", st.Overflowed)
+	}
+	if st.Sent != 4 {
+		t.Errorf("Sent = %d, want 4", st.Sent)
+	}
+	// The run degrades instead of crashing: the queued prefix still delivers.
+	s.Drain()
+	if len(b.got) != 4 {
+		t.Errorf("deliveries = %d, want the 4 accepted sends", len(b.got))
 	}
 }
 
@@ -503,5 +519,58 @@ func TestLatencyModeWholeProtocolStillConverges(t *testing.T) {
 	s.Drain()
 	if len(c.got) != 50 {
 		t.Fatalf("cascaded timed deliveries = %d, want 50", len(c.got))
+	}
+}
+
+func TestSchedulerTimersExemptFromQueueLimit(t *testing.T) {
+	s := New(1)
+	s.MaxQueue = 1
+	a := addRecorder(s, 1)
+	addRecorder(s, 2)
+	_ = s.Inject(1, 2, msg.Message{Type: msg.Gossip}) // fills the wire budget
+	// Timers are bounded by protocol state, not amplified by storms:
+	// dropping them would wedge timer-owning state machines (an armed
+	// Plumtree timer that never fires blocks that round's repair forever).
+	a.env.After(5, msg.Message{Type: msg.Tick, Round: 42})
+	a.env.Every(7, msg.Message{Type: msg.Tick, Round: 43})
+	s.Drain()
+	if len(a.got) != 1 || a.got[0].Round != 42 {
+		t.Fatalf("timer deliveries = %v, want the After(5) tick", a.got)
+	}
+	if s.Stats().Overflowed != 0 {
+		t.Errorf("Overflowed = %d, want 0 (only messages count)", s.Stats().Overflowed)
+	}
+	if got := s.RunFor(7); got != 1 {
+		t.Errorf("periodic fire in RunFor = %d deliveries, want 1", got)
+	}
+}
+
+func TestSchedulerEventsParkedAcrossFailure(t *testing.T) {
+	s := New(1)
+	a := addRecorder(s, 1)
+	a.env.After(5, msg.Message{Type: msg.Tick, Round: 1})
+	a.env.Every(10, msg.Message{Type: msg.Tick, Round: 2})
+	s.Fail(1)
+	if n := s.RunFor(40); n != 0 {
+		t.Fatalf("failed node received %d deliveries", n)
+	}
+	if len(a.got) != 0 {
+		t.Fatalf("failed node saw timers: %v", a.got)
+	}
+	// A dead node's periodic registration must not keep re-arming: it is
+	// parked after its first due firing, so the heaps go quiet.
+	if got := len(s.pheap) + len(s.heap); got != 0 {
+		t.Fatalf("dead node keeps %d events cycling through the heaps", got)
+	}
+	// Revive: the parked one-shot fires behind current traffic, the parked
+	// periodic resumes one interval from now.
+	s.Revive(1)
+	s.Drain()
+	if len(a.got) != 1 || a.got[0].Round != 1 {
+		t.Fatalf("parked timer after revive = %v, want the After tick", a.got)
+	}
+	s.RunFor(10)
+	if len(a.got) != 2 || a.got[1].Round != 2 {
+		t.Fatalf("parked periodic did not resume: %v", a.got)
 	}
 }

@@ -20,10 +20,46 @@ import (
 // paper relies on exactly this signal as its failure detector (§1 item iii).
 var ErrPeerDown = errors.New("peer: destination down")
 
+// Scheduler is the time contract every environment provides alongside message
+// delivery. Time is measured in ticks, an abstract unit each environment maps
+// onto its own clock: the simulator counts virtual ticks on its event heap
+// (the same unit its latency models speak), the TCP transport maps one tick
+// to one millisecond of wall time.
+//
+// Scheduled messages are delivered to the local process exactly like network
+// traffic, with from == Self(); a protocol recognizes its own timers by
+// (type, sender) — see msg.Tick for the shared convention. Delivery is
+// ordered: of two scheduled messages, the one with the earlier deadline is
+// delivered first, and the simulator breaks ties by scheduling order.
+//
+// This is the PeerSim-style engine contract the paper's evaluation (§5)
+// assumes: every periodic protocol behavior — HyParView's shuffle rounds,
+// Plumtree's IHAVE timers, X-BOT's optimization cadence — is expressed
+// against it once and runs identically in virtual and real time.
+type Scheduler interface {
+	// Now returns the current time in ticks. It never decreases.
+	Now() uint64
+
+	// After schedules m for delivery to the local process once delay ticks
+	// have elapsed. A zero delay means "behind everything already in
+	// flight": the message is delivered after all traffic queued at the
+	// current instant. One-shot; scheduling is infallible.
+	After(delay uint64, m msg.Message)
+
+	// Every registers a periodic delivery of m every interval ticks, first
+	// firing one interval from now. The registration lives as long as the
+	// node: the simulator stops delivering to failed nodes, the transport
+	// stops when the agent closes. A zero interval is clamped to one tick.
+	Every(interval uint64, m msg.Message)
+}
+
 // Env is the environment a protocol instance runs in. The simulator provides
 // a synchronous deterministic implementation; the transport package provides
-// one backed by real TCP connections.
+// one backed by real TCP connections. Every environment is also a Scheduler:
+// protocols own their timers instead of being driven by external cycle calls.
 type Env interface {
+	Scheduler
+
 	// Self returns the identifier of the local node.
 	Self() id.ID
 

@@ -8,6 +8,7 @@ import (
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
+	"hyparview/internal/peer/peertest"
 	"hyparview/internal/rng"
 )
 
@@ -15,6 +16,7 @@ import (
 // failed destinations, exercising the contract every environment (netsim,
 // transport) implements.
 type memEnv struct {
+	peertest.ManualScheduler
 	self    id.ID
 	rand    *rng.Rand
 	down    map[id.ID]bool

@@ -1,0 +1,193 @@
+// Package peertest provides shared test support for the peer.Scheduler
+// contract: a manually-advanced scheduler for protocol unit tests, and the
+// conformance suite both environments (the discrete-event simulator and the
+// real TCP transport) must pass.
+package peertest
+
+import (
+	"testing"
+
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+)
+
+// ManualScheduler implements peer.Scheduler with an explicitly advanced
+// clock. Protocol unit tests embed it in their fake environments and stay in
+// full control of time: Advance returns the timer messages that became due,
+// and the test delivers them to the node under test itself (with
+// from == self), choosing the interleaving it wants to exercise.
+type ManualScheduler struct {
+	clock uint64
+	seq   uint64
+	queue []manualEntry
+}
+
+type manualEntry struct {
+	at       uint64
+	seq      uint64
+	interval uint64 // 0 for one-shot
+	m        msg.Message
+}
+
+var _ peer.Scheduler = (*ManualScheduler)(nil)
+
+// Now implements peer.Scheduler.
+func (s *ManualScheduler) Now() uint64 { return s.clock }
+
+// After implements peer.Scheduler.
+func (s *ManualScheduler) After(delay uint64, m msg.Message) {
+	s.seq++
+	s.queue = append(s.queue, manualEntry{at: s.clock + delay, seq: s.seq, m: m})
+}
+
+// Every implements peer.Scheduler.
+func (s *ManualScheduler) Every(interval uint64, m msg.Message) {
+	if interval == 0 {
+		interval = 1
+	}
+	s.seq++
+	s.queue = append(s.queue, manualEntry{at: s.clock + interval, seq: s.seq, interval: interval, m: m})
+}
+
+// Pending returns the number of scheduled deliveries (a periodic
+// registration counts once, at its next deadline).
+func (s *ManualScheduler) Pending() int { return len(s.queue) }
+
+// Advance moves the clock forward by d ticks and returns the timer messages
+// due at or before the new time, in firing order (deadline, then scheduling
+// order). Periodic registrations re-arm and may fire several times within
+// one Advance.
+func (s *ManualScheduler) Advance(d uint64) []msg.Message {
+	target := s.clock + d
+	var due []msg.Message
+	for {
+		best := -1
+		for i := range s.queue {
+			if s.queue[i].at > target {
+				continue
+			}
+			if best < 0 || entryLess(s.queue[i], s.queue[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := s.queue[best]
+		if e.at > s.clock {
+			s.clock = e.at
+		}
+		due = append(due, e.m)
+		if e.interval > 0 {
+			s.seq++
+			s.queue[best] = manualEntry{at: e.at + e.interval, seq: s.seq, interval: e.interval, m: e.m}
+		} else {
+			s.queue = append(s.queue[:best], s.queue[best+1:]...)
+		}
+	}
+	s.clock = target
+	return due
+}
+
+func entryLess(a, b manualEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Instance adapts one environment's scheduler to the conformance suite.
+type Instance struct {
+	// Sched is the scheduler under test.
+	Sched peer.Scheduler
+
+	// Run lets scheduled work fire for at least d ticks of the instance's
+	// clock, blocking until the deliveries due in that window have reached
+	// the hosted process.
+	Run func(d uint64)
+
+	// Delivered returns the messages the hosted process has received from
+	// the scheduler so far, in delivery order. The instance must verify
+	// internally that each arrived with from == self.
+	Delivered func() []msg.Message
+
+	// Real marks a wall-clock scheduler: tick counts become lower bounds
+	// and exact interleaving within one instant is not asserted.
+	Real bool
+}
+
+// tick builds the marker message the suite schedules; instances see only its
+// Round.
+func tick(round uint64) msg.Message {
+	return msg.Message{Type: msg.Tick, Round: round}
+}
+
+func rounds(ms []msg.Message) []uint64 {
+	out := make([]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = m.Round
+	}
+	return out
+}
+
+// Conformance runs the shared peer.Scheduler contract suite against fresh
+// instances built by mk. Both environments run exactly this suite, which is
+// what makes "every periodic behavior runs identically in virtual and real
+// time" a tested property rather than a convention.
+func Conformance(t *testing.T, mk func(t *testing.T) *Instance) {
+	t.Run("NowAdvancesMonotonically", func(t *testing.T) {
+		in := mk(t)
+		t0 := in.Sched.Now()
+		in.Run(40)
+		t1 := in.Sched.Now()
+		if t1 < t0+40 {
+			t.Errorf("Now after Run(40) = %d, want >= %d", t1, t0+40)
+		}
+		if got := in.Sched.Now(); got < t1 {
+			t.Errorf("Now decreased: %d after %d", got, t1)
+		}
+	})
+
+	t.Run("AfterFiresOnceInDeadlineOrder", func(t *testing.T) {
+		in := mk(t)
+		in.Sched.After(200, tick(1))
+		in.Sched.After(40, tick(2))
+		in.Run(400)
+		got := rounds(in.Delivered())
+		if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+			t.Fatalf("deliveries = %v, want [2 1] (deadline order, each once)", got)
+		}
+		in.Run(400)
+		if got := rounds(in.Delivered()); len(got) != 2 {
+			t.Errorf("one-shot timer fired again: %v", got)
+		}
+	})
+
+	t.Run("AfterZeroFiresBehindCurrentInstant", func(t *testing.T) {
+		in := mk(t)
+		in.Sched.After(0, tick(3))
+		in.Run(40)
+		if got := rounds(in.Delivered()); len(got) != 1 || got[0] != 3 {
+			t.Fatalf("deliveries = %v, want [3]", got)
+		}
+	})
+
+	t.Run("EveryRepeats", func(t *testing.T) {
+		in := mk(t)
+		in.Sched.Every(40, tick(4))
+		in.Run(200)
+		got := rounds(in.Delivered())
+		if in.Real {
+			if len(got) < 2 {
+				t.Fatalf("periodic fired %d times over 5 intervals, want >= 2", len(got))
+			}
+		} else if len(got) != 5 {
+			t.Fatalf("periodic fired %d times, want exactly 5 (ticks 40..200)", len(got))
+		}
+		for _, r := range got {
+			if r != 4 {
+				t.Fatalf("unexpected delivery %v", got)
+			}
+		}
+	})
+}

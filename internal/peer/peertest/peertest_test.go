@@ -1,0 +1,50 @@
+package peertest
+
+import (
+	"testing"
+
+	"hyparview/internal/msg"
+)
+
+// The manual scheduler is itself held to the contract it helps others test:
+// running it through the conformance suite keeps the suite and the helper
+// honest against each other.
+func TestManualSchedulerConformance(t *testing.T) {
+	Conformance(t, func(t *testing.T) *Instance {
+		ms := &ManualScheduler{}
+		var got []msg.Message
+		return &Instance{
+			Sched:     ms,
+			Run:       func(d uint64) { got = append(got, ms.Advance(d)...) },
+			Delivered: func() []msg.Message { return append([]msg.Message(nil), got...) },
+		}
+	})
+}
+
+func TestManualSchedulerTieBreaksBySchedulingOrder(t *testing.T) {
+	ms := &ManualScheduler{}
+	ms.After(10, msg.Message{Round: 1})
+	ms.After(10, msg.Message{Round: 2})
+	due := ms.Advance(10)
+	if len(due) != 2 || due[0].Round != 1 || due[1].Round != 2 {
+		t.Fatalf("equal-deadline firing order = %v, want scheduling order", due)
+	}
+	if ms.Now() != 10 {
+		t.Errorf("clock = %d, want 10", ms.Now())
+	}
+	if ms.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", ms.Pending())
+	}
+}
+
+func TestManualSchedulerPeriodicReArmsWithinOneAdvance(t *testing.T) {
+	ms := &ManualScheduler{}
+	ms.Every(3, msg.Message{Round: 9})
+	due := ms.Advance(10)
+	if len(due) != 3 { // ticks 3, 6, 9
+		t.Fatalf("periodic fired %d times over 10 ticks at interval 3, want 3", len(due))
+	}
+	if ms.Pending() != 1 {
+		t.Errorf("periodic registration lost: pending = %d", ms.Pending())
+	}
+}

@@ -322,3 +322,53 @@ func TestDeterministicTraces(t *testing.T) {
 		t.Errorf("identical runs diverged: (%d %d %d) vs (%d %d %d)", d1, du1, f1, d2, du2, f2)
 	}
 }
+
+// TestMissingMessageTimerFiresAtConfiguredVirtualTime pins the timer
+// semantics to the virtual clock: a node that hears only an IHAVE grafts the
+// announcer exactly Config.TimerDelay ticks after the announcement, with the
+// simulator's clock landing on precisely that instant.
+func TestMissingMessageTimerFiresAtConfiguredVirtualTime(t *testing.T) {
+	const delay = 250
+	sim := netsim.New(1)
+	nodes := make(map[id.ID]*Node, 2)
+	for _, nodeID := range []id.ID{1, 2} {
+		mem := &staticMember{neighbors: []id.ID{3 - nodeID}}
+		captured := nodeID
+		sim.Add(nodeID, func(env peer.Env) peer.Process {
+			pn := New(env, mem, Config{TimerDelay: delay}, nil)
+			nodes[captured] = pn
+			return pn
+		})
+	}
+	// Node 2 hears about round 7 but never receives the payload.
+	if err := sim.Inject(1, 2, msg.Message{Type: msg.PlumtreeIHave, Sender: 1, Round: 7, Hops: 1}); err != nil {
+		t.Fatal(err)
+	}
+	start := sim.Now()
+	sim.Drain()
+	if got := sim.Now() - start; got != delay {
+		t.Errorf("clock after timer-driven repair advanced %d ticks, want exactly %d", got, delay)
+	}
+	ctl := nodes[2].Control()
+	if ctl.TimerFires != 1 || ctl.GraftsSent != 1 {
+		t.Errorf("timer fires = %d grafts = %d, want 1 and 1", ctl.TimerFires, ctl.GraftsSent)
+	}
+	if got := nodes[1].Control().GraftsRecvd; got != 1 {
+		t.Errorf("announcer answered %d grafts, want 1", got)
+	}
+}
+
+// TestTinyTimerDelayRepairsWithinDrain: even a 1-tick timer fires behind all
+// in-flight traffic, so tree repair still completes inside a single Drain —
+// the property the old TTL re-queue idiom provided, now guaranteed by the
+// event heap's time ordering.
+func TestTinyTimerDelayRepairsWithinDrain(t *testing.T) {
+	c := newStaticCluster(t, 24, 5, Config{TimerDelay: 1})
+	c.broadcast(1, 1)
+	c.sim.Fail(2)
+	c.sim.Drain()
+	c.broadcast(5, 2)
+	if got, want := c.deliveredBy(2), c.sim.AliveCount(); got != want {
+		t.Errorf("delivered to %d of %d live nodes after failure with 1-tick timer", got, want)
+	}
+}

@@ -21,15 +21,16 @@
 // arrived on, the node grafts the announcer and prunes its current parent,
 // so the tree keeps approximating a BFS tree as the overlay changes.
 //
-// Timers in a synchronous world: this repository's simulator delivers
-// messages from a FIFO queue with no clock, so the missing-message timer is
-// modeled as a self-addressed PLUMTREEIHAVE that the node re-enqueues
-// Config.TimerPasses times before acting. Each pass drains behind all
-// traffic queued before it, which is exactly the "wait long enough for the
-// eager path to win" semantics the paper's timer provides — and it makes
-// tree repair run to completion inside a single Drain, deterministic under a
-// fixed seed. Divergence from the paper: IHAVE announcements are sent
-// immediately rather than batched by a lazy-queue policy.
+// Timers: the missing-message timer is a real scheduled event on the
+// environment's peer.Scheduler — After(Config.TimerDelay) arms a
+// self-addressed PLUMTREEIHAVE that fires once, behind all traffic already
+// in flight. In the simulator's FIFO mode (delay-0 messages) that is exactly
+// the "wait long enough for the eager path to win" semantics the paper's
+// timer provides, and tree repair still runs to completion inside a single
+// Drain, deterministic under a fixed seed; under a latency model or the real
+// TCP clock the delay is a genuine timeout in ticks. Divergence from the
+// paper: IHAVE announcements are sent immediately rather than batched by a
+// lazy-queue policy.
 //
 // The node implements gossip.Broadcaster over any peer.Membership, so the
 // experiment harness can swap flood gossip for Plumtree with a cluster
@@ -37,6 +38,7 @@
 package plumtree
 
 import (
+	"errors"
 	"sort"
 
 	"hyparview/internal/gossip"
@@ -47,16 +49,17 @@ import (
 
 // Config parameterizes a Plumtree node. Zero fields take defaults.
 type Config struct {
-	// TimerPasses is the number of extra queue passes a missing-message
-	// timer waits before grafting: the self-addressed timer message is
-	// re-enqueued this many times, each pass letting roughly one more
-	// dissemination wavefront (in particular the eager copy racing the
-	// announcement) arrive first. Too small a value grafts spuriously
-	// whenever a lazy shortcut beats a deep eager path, keeping the tree in
-	// permanent churn; 8 passes cover the eager/lazy depth gap of overlays
-	// up to well beyond 10k nodes while still repairing inside a single
-	// drain. Default 8.
-	TimerPasses int
+	// TimerDelay is the missing-message timeout in scheduler ticks: how long
+	// a node that heard an IHAVE announcement waits for the eager copy
+	// before grafting the announcer (peer.Scheduler.After). A zero-delay
+	// timer still fires behind all traffic in flight at arming time, so in
+	// the simulator's FIFO mode any value repairs within one Drain; under a
+	// latency model the delay must exceed the eager-path/lazy-shortcut
+	// delivery gap or the node grafts spuriously, keeping the tree in
+	// permanent churn (the extra grafts cost redundancy, never reliability).
+	// The TCP agent maps AgentConfig.PlumtreeTimer onto this field (one tick
+	// = 1ms). Default 1000.
+	TimerDelay uint64
 
 	// OptimizeThreshold is the minimum hop-count improvement an IHAVE
 	// announcement must promise over the current eager path before the node
@@ -71,8 +74,8 @@ type Config struct {
 
 // WithDefaults fills unset fields with the defaults above.
 func (c Config) WithDefaults() Config {
-	if c.TimerPasses == 0 {
-		c.TimerPasses = 8
+	if c.TimerDelay == 0 {
+		c.TimerDelay = 1000
 	}
 	if c.OptimizeThreshold == 0 {
 		c.OptimizeThreshold = 3
@@ -156,7 +159,10 @@ func (n *Node) Config() Config { return n.cfg }
 
 // Deliver implements peer.Process. Plumtree traffic is consumed here,
 // everything else is handed to the membership protocol. A PLUMTREEIHAVE
-// from the node itself is a missing-message timer tick (see package doc).
+// from the node itself is a missing-message timer firing (see package doc);
+// a scheduler Tick from the node itself carries a lower layer's periodic
+// round through this one, so the cyclic housekeeping rides along before the
+// tick descends.
 func (n *Node) Deliver(from id.ID, m msg.Message) {
 	switch m.Type {
 	case msg.PlumtreeGossip:
@@ -171,16 +177,28 @@ func (n *Node) Deliver(from id.ID, m msg.Message) {
 		n.onGraft(from, m)
 	case msg.PlumtreePrune:
 		n.onPrune(from)
+	case msg.Tick:
+		if from == n.env.Self() {
+			n.periodic()
+		}
+		n.membership.Deliver(from, m)
 	default:
 		n.membership.Deliver(from, m)
 	}
 }
 
-// OnCycle runs the membership cycle, reconciles the peer sets against the
-// possibly-changed overlay neighborhood, and re-arms repair timers for
-// rounds still known only through announcements.
+// OnCycle runs the membership cycle and the periodic housekeeping
+// (externally-driven cycle mode; scheduler-driven stacks get the same
+// housekeeping from the Tick pass-through in Deliver).
 func (n *Node) OnCycle() {
 	n.membership.OnCycle()
+	n.periodic()
+}
+
+// periodic reconciles the peer sets against the possibly-changed overlay
+// neighborhood and re-arms repair timers for rounds still known only through
+// announcements.
+func (n *Node) periodic() {
 	n.reconcile()
 	// Sorted iteration keeps the event trace deterministic under a seed.
 	rounds := make([]uint64, 0, len(n.miss))
@@ -199,7 +217,7 @@ func (n *Node) OnCycle() {
 			delete(n.miss, round)
 			continue
 		}
-		n.startTimer(round, 0) // graft at the next drain
+		n.startTimer(round, 0) // graft behind everything already in flight
 	}
 }
 
@@ -256,7 +274,7 @@ func (n *Node) onIHave(from id.ID, m msg.Message) {
 	}
 	ms.sources = append(ms.sources, source{peer: from, hops: m.Hops})
 	if !ms.timer {
-		n.startTimer(m.Round, n.cfg.TimerPasses)
+		n.startTimer(m.Round, n.cfg.TimerDelay)
 	}
 }
 
@@ -314,16 +332,12 @@ func (n *Node) onPrune(from id.ID) {
 	n.demote(from)
 }
 
-// onTimer handles one tick of a missing-message timer (a self-addressed
-// IHAVE; TTL counts the remaining queue passes).
+// onTimer handles a missing-message timer firing (a scheduler-delivered
+// self-addressed IHAVE).
 func (n *Node) onTimer(m msg.Message) {
 	ms := n.miss[m.Round]
 	if ms == nil {
 		return // delivered (or forgotten) while the timer was in flight
-	}
-	if m.TTL > 0 {
-		n.startTimer(m.Round, int(m.TTL)-1)
-		return
 	}
 	n.timerExpired(m.Round, ms)
 }
@@ -349,30 +363,26 @@ func (n *Node) timerExpired(round uint64, ms *missing) {
 		}
 	}
 	if len(ms.sources) > 0 {
-		n.startTimer(round, n.cfg.TimerPasses)
+		n.startTimer(round, n.cfg.TimerDelay)
 	}
 	// Otherwise the entry stays with no timer armed: a future IHAVE re-arms
-	// it, or OnCycle garbage-collects it.
+	// it, or the periodic housekeeping garbage-collects it.
 }
 
-// startTimer enqueues the self-addressed timer message for round with the
-// given number of re-queue passes. Environments that cannot deliver to self
-// degrade to an immediate expiry, which only costs extra grafts.
-func (n *Node) startTimer(round uint64, passes int) {
+// startTimer schedules the missing-message timer for round: a self-addressed
+// IHAVE delivered by the environment's scheduler after delay ticks, behind
+// everything already in flight.
+func (n *Node) startTimer(round uint64, delay uint64) {
 	ms := n.miss[round]
 	if ms == nil {
 		return
 	}
 	ms.timer = true
-	err := n.env.Send(n.env.Self(), msg.Message{
+	n.env.After(delay, msg.Message{
 		Type:   msg.PlumtreeIHave,
 		Sender: n.env.Self(),
 		Round:  round,
-		TTL:    uint8(passes),
 	})
-	if err != nil {
-		n.timerExpired(round, ms)
-	}
 }
 
 // push sends the payload to every eager peer and the announcement to every
@@ -404,14 +414,17 @@ func (n *Node) push(round uint64, payload []byte, hops uint16, skip id.ID) {
 
 // sendTo sends m to dst, handling the failure-detection path: a send
 // rejected with peer.ErrPeerDown removes dst from both peer sets and, when
-// configured, is reported to the membership protocol.
+// configured, is reported to the membership protocol. Other send errors
+// (queue-overflow degradation) lose the message without indicting the link.
 func (n *Node) sendTo(dst id.ID, m msg.Message) bool {
 	if err := n.env.Send(dst, m); err != nil {
 		n.sendFails++
-		delete(n.eager, dst)
-		delete(n.lazy, dst)
-		if n.cfg.ReportPeerDown {
-			n.membership.OnPeerDown(dst)
+		if errors.Is(err, peer.ErrPeerDown) {
+			delete(n.eager, dst)
+			delete(n.lazy, dst)
+			if n.cfg.ReportPeerDown {
+				n.membership.OnPeerDown(dst)
+			}
 		}
 		return false
 	}

@@ -8,6 +8,7 @@ import (
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
+	"hyparview/internal/peer/peertest"
 	"hyparview/internal/rng"
 )
 
@@ -39,8 +40,10 @@ func (f *fakeMembership) GossipTargets(fanout int, exclude id.ID) []id.ID {
 	return out
 }
 
-// fakeEnv records sends, including the node's self-addressed timer messages.
+// fakeEnv records sends; timers land on the embedded manual scheduler and
+// are fired explicitly by the tests.
 type fakeEnv struct {
+	peertest.ManualScheduler
 	self id.ID
 	rand *rng.Rand
 	down map[id.ID]bool
@@ -187,27 +190,24 @@ func TestPruneReceptionDemotesLink(t *testing.T) {
 func TestIHaveForUnseenStartsTimerThenGrafts(t *testing.T) {
 	env := newFakeEnv(1)
 	mem := &fakeMembership{neighbors: []id.ID{2, 3}}
-	n := New(env, mem, Config{TimerPasses: 2}, nil)
+	n := New(env, mem, Config{TimerDelay: 5}, nil)
 
 	n.Deliver(2, msg.Message{Type: msg.PlumtreeIHave, Sender: 2, Round: 4, Hops: 1})
-	timers := env.sentOfType(msg.PlumtreeIHave)
-	if len(timers) != 1 || timers[0].to != 1 || timers[0].m.TTL != 2 {
-		t.Fatalf("timer = %v, want self-addressed IHAVE with TTL 2", timers)
+	if env.Pending() != 1 {
+		t.Fatalf("scheduled timers = %d, want one missing-message timer", env.Pending())
+	}
+	if len(env.sentOfType(msg.PlumtreeIHave)) != 0 {
+		t.Error("arming the timer sent wire traffic")
 	}
 
-	// Tick the timer down: two re-queues, then a GRAFT to the announcer.
-	for _, wantTTL := range []uint8{1, 0} {
-		tm := env.sentOfType(msg.PlumtreeIHave)[len(env.sentOfType(msg.PlumtreeIHave))-1]
-		env.sent = nil
-		n.Deliver(1, tm.m)
-		requeued := env.sentOfType(msg.PlumtreeIHave)
-		if len(requeued) != 1 || requeued[0].m.TTL != wantTTL {
-			t.Fatalf("timer pass = %v, want re-queue with TTL %d", requeued, wantTTL)
-		}
+	// The scheduler fires the timer at the deadline: the node grafts the
+	// announcer, requesting a retransmission.
+	timers := env.Advance(5)
+	if len(timers) != 1 || timers[0].Type != msg.PlumtreeIHave || timers[0].Round != 4 {
+		t.Fatalf("fired = %v, want one self-addressed IHAVE for round 4", timers)
 	}
-	tm := env.sentOfType(msg.PlumtreeIHave)[0]
 	env.sent = nil
-	n.Deliver(1, tm.m)
+	n.Deliver(1, timers[0])
 	grafts := env.sentOfType(msg.PlumtreeGraft)
 	if len(grafts) != 1 || grafts[0].to != 2 || grafts[0].m.Round != 4 || !grafts[0].m.Accept {
 		t.Fatalf("grafts = %v, want retransmission request to n2 for round 4", grafts)
@@ -220,14 +220,15 @@ func TestIHaveForUnseenStartsTimerThenGrafts(t *testing.T) {
 func TestTimerCancelledByDelivery(t *testing.T) {
 	env := newFakeEnv(1)
 	mem := &fakeMembership{neighbors: []id.ID{2, 3}}
-	n := New(env, mem, Config{TimerPasses: 1}, nil)
+	n := New(env, mem, Config{TimerDelay: 5}, nil)
 	n.Deliver(2, msg.Message{Type: msg.PlumtreeIHave, Sender: 2, Round: 4, Hops: 1})
-	tm := env.sentOfType(msg.PlumtreeIHave)[0]
 
 	// The eager copy arrives before the timer fires.
 	n.Deliver(3, msg.Message{Type: msg.PlumtreeGossip, Sender: 3, Round: 4})
 	env.sent = nil
-	n.Deliver(1, tm.m)
+	for _, tm := range env.Advance(5) {
+		n.Deliver(1, tm)
+	}
 	if len(env.sent) != 0 {
 		t.Errorf("expired timer for a delivered round acted: %v", env.sent)
 	}
@@ -407,10 +408,9 @@ func TestBroadcastDuplicateRoundIgnored(t *testing.T) {
 func TestResetSeenClearsDeliveryAndMissingState(t *testing.T) {
 	env := newFakeEnv(1)
 	mem := &fakeMembership{neighbors: []id.ID{2, 3}}
-	n := New(env, mem, Config{TimerPasses: 1}, nil)
+	n := New(env, mem, Config{TimerDelay: 5}, nil)
 	n.Deliver(2, msg.Message{Type: msg.PlumtreeGossip, Sender: 2, Round: 3})
 	n.Deliver(3, msg.Message{Type: msg.PlumtreeIHave, Sender: 3, Round: 99})
-	tm := env.sentOfType(msg.PlumtreeIHave)[0]
 	if !n.Seen(3) {
 		t.Fatal("round not marked seen")
 	}
@@ -419,7 +419,9 @@ func TestResetSeenClearsDeliveryAndMissingState(t *testing.T) {
 		t.Error("ResetSeen did not clear the cache")
 	}
 	env.sent = nil
-	n.Deliver(1, tm.m) // stale timer for a forgotten round
+	for _, tm := range env.Advance(5) {
+		n.Deliver(1, tm) // stale timer for a forgotten round
+	}
 	if len(env.sent) != 0 {
 		t.Errorf("stale timer acted after ResetSeen: %v", env.sent)
 	}
@@ -436,8 +438,8 @@ func TestOnCycleRearmsStalledRepair(t *testing.T) {
 	n.Deliver(2, msg.Message{Type: msg.PlumtreeIHave, Sender: 2, Round: 4, Hops: 1})
 	n.Deliver(3, msg.Message{Type: msg.PlumtreeIHave, Sender: 3, Round: 4, Hops: 1})
 	env.sent = nil
-	// Hand the node its timer with the passes exhausted.
-	n.Deliver(1, msg.Message{Type: msg.PlumtreeIHave, Sender: 1, Round: 4, TTL: 0})
+	// Fire the missing-message timer by hand.
+	n.Deliver(1, msg.Message{Type: msg.PlumtreeIHave, Sender: 1, Round: 4})
 	grafts := env.sentOfType(msg.PlumtreeGraft)
 	if len(grafts) != 1 || grafts[0].to != 3 {
 		t.Fatalf("grafts = %v, want fall-through to n3", grafts)
@@ -455,11 +457,11 @@ func TestOnCycleRearmsStalledRepair(t *testing.T) {
 
 func TestWithDefaults(t *testing.T) {
 	cfg := Config{}.WithDefaults()
-	if cfg.TimerPasses != 8 || cfg.OptimizeThreshold != 3 {
+	if cfg.TimerDelay != 1000 || cfg.OptimizeThreshold != 3 {
 		t.Errorf("defaults = %+v", cfg)
 	}
-	custom := Config{TimerPasses: 3, OptimizeThreshold: 1}.WithDefaults()
-	if custom.TimerPasses != 3 || custom.OptimizeThreshold != 1 {
+	custom := Config{TimerDelay: 3, OptimizeThreshold: 1}.WithDefaults()
+	if custom.TimerDelay != 3 || custom.OptimizeThreshold != 1 {
 		t.Errorf("custom overridden: %+v", custom)
 	}
 }

@@ -9,11 +9,13 @@ import (
 	"hyparview/internal/msg"
 	"hyparview/internal/netsim"
 	"hyparview/internal/peer"
+	"hyparview/internal/peer/peertest"
 	"hyparview/internal/rng"
 )
 
 // fakeEnv is a scriptable peer.Env for handler-level tests.
 type fakeEnv struct {
+	peertest.ManualScheduler
 	self id.ID
 	rand *rng.Rand
 	down map[id.ID]bool

@@ -168,6 +168,17 @@ type Options struct {
 	// StabilizationCycles is used by Stabilize callers that take the
 	// default (paper: 50).
 	StabilizationCycles int
+
+	// ShuffleInterval, when non-zero, switches HyParView clusters to the
+	// paper-faithful periodic mode: every node schedules its own shuffle
+	// round each ShuffleInterval virtual ticks (core.Config.ShuffleInterval)
+	// and the X-BOT optimizer, when enabled, derives its attempt cadence
+	// from the same clock (ShuffleInterval × XBot.Period). Stabilize then
+	// advances virtual time with Sim.RunFor instead of driving external
+	// RunCycle calls, so membership rounds interleave with in-flight traffic
+	// in timestamp order. Zero keeps the cycle-driven mode; the
+	// peer-sampling baselines (Cyclon, Scamp) are always cycle-driven.
+	ShuffleInterval uint64
 }
 
 // withDefaults fills unset options.
@@ -210,11 +221,10 @@ type Cluster struct {
 	roundLat   map[uint64]*latencyAgg
 }
 
-// latencyAgg aggregates the virtual-time delivery latencies of one round.
+// latencyAgg collects the virtual-time latency of every delivery of one
+// round; max/mean/percentiles all derive from the samples at endRound.
 type latencyAgg struct {
-	max uint64
-	sum uint64
-	n   int
+	samples []float64
 }
 
 // NewCluster builds a cluster of opts.N nodes running proto, joined one by
@@ -273,6 +283,9 @@ func (c *Cluster) newMembership(env peer.Env, i int) peer.Membership {
 	switch c.Protocol {
 	case HyParView:
 		cfg := c.Opts.HyParView
+		if c.Opts.ShuffleInterval > 0 && cfg.ShuffleInterval == 0 {
+			cfg.ShuffleInterval = c.Opts.ShuffleInterval
+		}
 		if c.Opts.ConfigureHyParView != nil {
 			cfg = c.Opts.ConfigureHyParView(i, cfg.WithDefaults())
 		}
@@ -284,7 +297,8 @@ func (c *Cluster) newMembership(env peer.Env, i int) peer.Membership {
 			if oracle == nil {
 				oracle = c.Opts.LatencyModel
 			}
-			return xbot.New(env, hv, c.Opts.XBot, oracle)
+			xcfg := c.Opts.XBot.DeriveInterval(c.Opts.ShuffleInterval)
+			return xbot.New(env, hv, xcfg, oracle)
 		}
 		return hv
 	case Cyclon:
@@ -340,17 +354,12 @@ func (c *Cluster) newBroadcaster(env peer.Env, m peer.Membership) gossip.Broadca
 func (c *Cluster) deliver(round uint64, payload []byte, hops int) {
 	if c.timed {
 		if start, ok := c.roundStart[round]; ok {
-			lat := c.Sim.Now() - start
 			agg := c.roundLat[round]
 			if agg == nil {
 				agg = &latencyAgg{}
 				c.roundLat[round] = agg
 			}
-			if lat > agg.max {
-				agg.max = lat
-			}
-			agg.sum += lat
-			agg.n++
+			agg.samples = append(agg.samples, float64(c.Sim.Now()-start))
 		}
 	}
 	c.Tracker.Deliver(round, payload, hops)
@@ -364,24 +373,52 @@ func (c *Cluster) beginRound(round uint64) {
 }
 
 // endRound returns the virtual-time latency of the round's last and average
-// delivery (zero in FIFO mode) and releases the tracking state.
-func (c *Cluster) endRound(round uint64) (maxLat, avgLat float64) {
+// delivery plus the raw per-delivery samples (all zero/nil in FIFO mode) and
+// releases the tracking state.
+func (c *Cluster) endRound(round uint64) (maxLat, avgLat float64, samples []float64) {
 	if !c.timed {
-		return 0, 0
+		return 0, 0, nil
 	}
 	delete(c.roundStart, round)
 	agg := c.roundLat[round]
 	delete(c.roundLat, round)
-	if agg == nil || agg.n == 0 {
-		return 0, 0
+	if agg == nil || len(agg.samples) == 0 {
+		return 0, 0, nil
 	}
-	return float64(agg.max), float64(agg.sum) / float64(agg.n)
+	var sum float64
+	for _, lat := range agg.samples {
+		sum += lat
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	return maxLat, sum / float64(len(agg.samples)), agg.samples
 }
 
-// Stabilize runs the given number of membership cycles (paper: 50) over the
-// whole cluster.
+// Stabilize runs the given number of membership rounds (paper: 50) over the
+// whole cluster. In cycle-driven mode that is RunCycle ×cycles; in periodic
+// mode (Options.ShuffleInterval over HyParView) the same round count is
+// expressed as a virtual-time duration and the nodes' own scheduled shuffles
+// drive the protocol.
 func (c *Cluster) Stabilize(cycles int) {
+	if iv := c.periodicInterval(); iv > 0 {
+		c.Sim.RunFor(uint64(cycles) * iv)
+		return
+	}
 	c.Sim.RunCycles(cycles)
+}
+
+// RunFor advances the cluster's virtual time by d ticks, firing scheduled
+// protocol rounds and timers along the way (duration-based methodology).
+func (c *Cluster) RunFor(d uint64) { c.Sim.RunFor(d) }
+
+// periodicInterval returns the per-round virtual-time interval when the
+// cluster runs scheduler-driven membership rounds, zero otherwise.
+func (c *Cluster) periodicInterval() uint64 {
+	if c.Protocol == HyParView {
+		return c.Opts.ShuffleInterval
+	}
+	return 0
 }
 
 // FailFraction crashes frac (0..1) of the currently live nodes, chosen
@@ -407,10 +444,10 @@ func (c *Cluster) FailFraction(frac float64) int {
 // fully processes the resulting traffic, and returns reliability, hop
 // statistics and — in latency mode — the virtual-time latency of the last
 // and average delivery.
-func (c *Cluster) broadcastMeasured() (rel float64, maxHops int, avgHops, maxLat, avgLat float64) {
+func (c *Cluster) broadcastMeasured() (rel float64, maxHops int, avgHops, maxLat, avgLat float64, lats []float64) {
 	alive := c.Sim.AliveIDs()
 	if len(alive) == 0 {
-		return 0, 0, 0, 0, 0
+		return 0, 0, 0, 0, 0, nil
 	}
 	source := alive[c.Sim.Rand().Intn(len(alive))]
 	round := c.Tracker.NextRound()
@@ -421,15 +458,15 @@ func (c *Cluster) broadcastMeasured() (rel float64, maxHops int, avgHops, maxLat
 	maxHops = c.Tracker.MaxHops(round)
 	avgHops = c.Tracker.AvgHops(round)
 	c.Tracker.Forget(round)
-	maxLat, avgLat = c.endRound(round)
-	return rel, maxHops, avgHops, maxLat, avgLat
+	maxLat, avgLat, lats = c.endRound(round)
+	return rel, maxHops, avgHops, maxLat, avgLat, lats
 }
 
 // Broadcast sends one broadcast from a uniformly random live node, fully
 // processes the resulting traffic, and returns the message's reliability:
 // the fraction of live nodes that delivered it (paper §2.5).
 func (c *Cluster) Broadcast() float64 {
-	rel, _, _, _, _ := c.broadcastMeasured()
+	rel, _, _, _, _, _ := c.broadcastMeasured()
 	return rel
 }
 
@@ -437,7 +474,7 @@ func (c *Cluster) Broadcast() float64 {
 // reliability, the maximum hop count and the average hop count of the
 // deliveries.
 func (c *Cluster) BroadcastDetailed() (rel float64, maxHops int, avgHops float64) {
-	rel, maxHops, avgHops, _, _ = c.broadcastMeasured()
+	rel, maxHops, avgHops, _, _, _ = c.broadcastMeasured()
 	return rel, maxHops, avgHops
 }
 
@@ -509,6 +546,11 @@ type BurstStats struct {
 	// zero in FIFO mode (no latency model installed).
 	MeanMaxLatency float64
 	MeanAvgLatency float64
+	// LatencyP50 and LatencyP99 are percentiles over every individual
+	// delivery latency of the burst (all messages, all receivers): the tail
+	// a mean hides. Zero in FIFO mode.
+	LatencyP50 float64
+	LatencyP99 float64
 }
 
 // MeasureBurst sends msgs broadcasts back to back from random live nodes
@@ -522,12 +564,14 @@ func (c *Cluster) MeasureBurst(msgs int) BurstStats {
 	d0, dup0, _, _ := c.CounterTotals()
 	var rels []float64
 	var sumMaxHops, sumMaxLat, sumAvgLat float64
+	var allLats []float64
 	for i := 0; i < msgs; i++ {
-		rel, maxHops, _, maxLat, avgLat := c.broadcastMeasured()
+		rel, maxHops, _, maxLat, avgLat, lats := c.broadcastMeasured()
 		rels = append(rels, rel)
 		sumMaxHops += float64(maxHops)
 		sumMaxLat += maxLat
 		sumAvgLat += avgLat
+		allLats = append(allLats, lats...)
 	}
 	d1, dup1, _, _ := c.CounterTotals()
 	delivered := float64(d1 - d0) // includes the msgs source-local deliveries
@@ -541,6 +585,8 @@ func (c *Cluster) MeasureBurst(msgs int) BurstStats {
 	out.MeanMaxHops = sumMaxHops / k
 	out.MeanMaxLatency = sumMaxLat / k
 	out.MeanAvgLatency = sumAvgLat / k
+	out.LatencyP50 = metrics.Percentile(allLats, 50)
+	out.LatencyP99 = metrics.Percentile(allLats, 99)
 	return out
 }
 

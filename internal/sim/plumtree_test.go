@@ -110,14 +110,14 @@ func TestPlumtreeOverPeerSampling(t *testing.T) {
 func TestPlumtreeConfigPlumbing(t *testing.T) {
 	c := NewCluster(HyParView, Options{
 		N: 50, Seed: 2, Broadcast: BroadcastPlumtree,
-		Plumtree: plumtree.Config{TimerPasses: 3},
+		Plumtree: plumtree.Config{TimerDelay: 3},
 	})
 	pn, ok := c.Gossiper(1).(*plumtree.Node)
 	if !ok {
 		t.Fatalf("broadcaster is %T, want *plumtree.Node", c.Gossiper(1))
 	}
-	if got := pn.Config().TimerPasses; got != 3 {
-		t.Errorf("TimerPasses = %d, option did not reach the node", got)
+	if got := pn.Config().TimerDelay; got != 3 {
+		t.Errorf("TimerDelay = %d, option did not reach the node", got)
 	}
 	if !pn.Config().ReportPeerDown {
 		t.Error("ReportPeerDown not forced on over HyParView")

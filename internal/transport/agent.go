@@ -63,9 +63,10 @@ type AgentConfig struct {
 	Plumtree plumtree.Config
 	// PlumtreeTimer is the missing-message timeout under the agent's real
 	// clock: how long a node that heard an IHAVE announcement waits for the
-	// eager copy before GRAFTing the announcer. The simulator models this
-	// timeout by re-queueing a self-addressed message behind pending traffic;
-	// the agent schedules one wall-clock timer instead. Default 200ms.
+	// eager copy before GRAFTing the announcer. It is mapped onto
+	// plumtree.Config.TimerDelay through the agent's peer.Scheduler (one
+	// tick = 1ms); the protocol schedules the timer itself, identically in
+	// the simulator and here. Default 200ms.
 	PlumtreeTimer time.Duration
 
 	// Optimize layers the X-BOT optimizer (SRDS 2009) over HyParView: a
@@ -97,9 +98,9 @@ type AgentConfig struct {
 	OnNeighborDown func(peerID id.ID, reason core.DownReason)
 }
 
-// agentEnv adapts Transport to peer.Env for the protocol goroutine.
-// Self-addressed sends — the protocols' simulator timer idiom — are diverted
-// onto the agent's real clock instead of the wire.
+// agentEnv adapts Transport to peer.Env for the protocol goroutine. The
+// scheduler half of the contract is the agent's real-clock scheduler: timers
+// are protocol-owned, there is no self-addressed-send interception.
 type agentEnv struct {
 	a *Agent
 	r *rng.Rand
@@ -111,8 +112,7 @@ func (e *agentEnv) Self() id.ID { return e.a.tr.Self() }
 
 func (e *agentEnv) Send(d id.ID, m msg.Message) error {
 	if d == e.a.tr.Self() {
-		e.a.scheduleSelf(m)
-		return nil
+		return fmt.Errorf("transport: self-send unsupported; schedule timers via peer.Scheduler")
 	}
 	return e.a.tr.Send(d, m)
 }
@@ -121,6 +121,12 @@ func (e *agentEnv) Probe(d id.ID) error { return e.a.tr.Probe(d) }
 func (e *agentEnv) Watch(d id.ID)       { e.a.tr.Watch(d) }
 func (e *agentEnv) Unwatch(d id.ID)     { e.a.tr.Unwatch(d) }
 func (e *agentEnv) Rand() *rng.Rand     { return e.r }
+
+func (e *agentEnv) Now() uint64                       { return e.a.sched.Now() }
+func (e *agentEnv) After(delay uint64, m msg.Message) { e.a.sched.After(delay, m) }
+func (e *agentEnv) Every(interval uint64, m msg.Message) {
+	e.a.sched.Every(interval, m)
+}
 
 // pingState is one outstanding PING: who it was sent to and when.
 type pingState struct {
@@ -143,14 +149,13 @@ type Agent struct {
 	broadcaster gossip.Broadcaster
 	rand        *rng.Rand
 	rtt         *rttOracle
+	sched       *clockScheduler
 	pings       map[uint64]pingState
 	replySlots  chan struct{} // caps concurrent PONG dial-back goroutines
-	selfDelay   time.Duration
 	probePeriod time.Duration
 	inbox       chan func()
 	stop        chan struct{}
 	done        chan struct{}
-	ticker      *time.Ticker
 	probeTicker *time.Ticker
 	closeOnce   sync.Once
 }
@@ -170,9 +175,9 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 		pings:      make(map[uint64]pingState),
 		replySlots: make(chan struct{}, 16),
 	}
-	a.selfDelay = cfg.PlumtreeTimer
-	if a.selfDelay <= 0 {
-		a.selfDelay = 200 * time.Millisecond
+	ptimer := cfg.PlumtreeTimer
+	if ptimer <= 0 {
+		ptimer = 200 * time.Millisecond
 	}
 	tr, err := Listen(listenAddr, cfg.Transport,
 		func(from id.ID, m msg.Message) {
@@ -202,13 +207,29 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 		return nil, err
 	}
 	a.tr = tr
+	// The real-clock half of the peer.Scheduler contract: scheduled messages
+	// re-enter the actor loop as self-deliveries at the top of the protocol
+	// stack, exactly as the simulator delivers them.
+	a.sched = newClockScheduler(func(m msg.Message) {
+		op := func() { a.broadcaster.Deliver(a.tr.Self(), m) }
+		select {
+		case a.inbox <- op:
+		case <-a.stop:
+		}
+	}, a.stop)
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = uint64(tr.Self()) ^ uint64(time.Now().UnixNano())
 	}
 	a.rand = rng.New(seed)
 	env := &agentEnv{a: a, r: a.rand}
-	a.node = core.New(env, cfg.Core)
+	ccfg := cfg.Core
+	if cfg.CyclePeriod > 0 && ccfg.ShuffleInterval == 0 {
+		// ΔT: the core schedules its own periodic rounds on the agent's
+		// clock; the tick cascades down the whole stack.
+		ccfg.ShuffleInterval = ticks(cfg.CyclePeriod)
+	}
+	a.node = core.New(env, ccfg)
 	if cfg.OnNeighborUp != nil || cfg.OnNeighborDown != nil {
 		a.node.SetListener(core.Listener{
 			NeighborUp:   cfg.OnNeighborUp,
@@ -222,7 +243,13 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 	var member peer.Membership = a.node
 	if cfg.Optimize {
 		a.rtt = newRTTOracle(tr.Self(), a.sendPing)
-		a.xnode = xbot.New(env, a.node, cfg.XBot, a.rtt)
+		xcfg := cfg.XBot
+		if cfg.CyclePeriod > 0 {
+			// Scheduler-driven optimization rounds: Period membership cycles
+			// between attempts, expressed in clock ticks.
+			xcfg = xcfg.DeriveInterval(ticks(cfg.CyclePeriod))
+		}
+		a.xnode = xbot.New(env, a.node, xcfg, a.rtt)
 		member = a.xnode
 		a.probePeriod = cfg.ProbePeriod
 		if a.probePeriod <= 0 {
@@ -243,6 +270,9 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 	case BroadcastPlumtree:
 		pcfg := cfg.Plumtree
 		pcfg.ReportPeerDown = true
+		if pcfg.TimerDelay == 0 {
+			pcfg.TimerDelay = ticks(ptimer)
+		}
 		a.ptree = plumtree.New(env, member, pcfg, deliver)
 		a.broadcaster = a.ptree
 	default:
@@ -250,20 +280,26 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 			gossip.Config{Mode: gossip.Flood, ReportPeerDown: true}, deliver)
 	}
 
-	if cfg.CyclePeriod > 0 {
-		a.ticker = time.NewTicker(cfg.CyclePeriod)
-	}
 	go a.loop()
 	return a, nil
 }
 
+// ticks converts a wall-clock duration to scheduler ticks, never rounding a
+// positive duration down to zero.
+func ticks(d time.Duration) uint64 {
+	t := uint64(d / tickDuration)
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
 // loop is the actor goroutine: the only place protocol state is touched.
+// Periodic protocol rounds arrive through the inbox as scheduler-delivered
+// ticks; only the agent-internal RTT probe keeps a raw ticker.
 func (a *Agent) loop() {
 	defer close(a.done)
-	var tick, probe <-chan time.Time
-	if a.ticker != nil {
-		tick = a.ticker.C
-	}
+	var probe <-chan time.Time
 	if a.probeTicker != nil {
 		probe = a.probeTicker.C
 	}
@@ -271,8 +307,6 @@ func (a *Agent) loop() {
 		select {
 		case op := <-a.inbox:
 			op()
-		case <-tick:
-			a.broadcaster.OnCycle()
 		case <-probe:
 			a.onProbeTick()
 		case <-a.stop:
@@ -316,22 +350,6 @@ func (a *Agent) dispatch(from id.ID, m msg.Message) {
 	default:
 		a.broadcaster.Deliver(from, m)
 	}
-}
-
-// scheduleSelf converts a protocol's self-addressed message — the simulator's
-// timer idiom — into a real-clock timer: the message re-enters the actor loop
-// after PlumtreeTimer. The TTL re-queue passes that emulate "wait for queued
-// traffic to drain" in the simulator collapse to zero: one wall-clock delay
-// is the whole timeout, so the timer fires exactly once per arming.
-func (a *Agent) scheduleSelf(m msg.Message) {
-	m.TTL = 0
-	self := a.tr.Self()
-	time.AfterFunc(a.selfDelay, func() {
-		select {
-		case a.inbox <- func() { a.broadcaster.Deliver(self, m) }:
-		case <-a.stop:
-		}
-	})
 }
 
 // sendPing starts one RTT measurement: a PING carrying a random nonce that
@@ -445,8 +463,10 @@ func (a *Agent) Broadcast(payload []byte) error {
 	return a.call(func() { a.broadcaster.Broadcast(a.rand.Uint64(), payload) })
 }
 
-// Cycle triggers one membership cycle synchronously (manual ΔT driving).
-// With Optimize set this includes the X-BOT optimization attempt cadence.
+// Cycle triggers one membership cycle synchronously (manual ΔT driving,
+// for agents built with CyclePeriod zero). With Optimize set this includes
+// the X-BOT optimization attempt cadence; agents with a CyclePeriod run
+// both through the scheduler instead.
 func (a *Agent) Cycle() error {
 	return a.call(func() { a.broadcaster.OnCycle() })
 }
@@ -549,9 +569,7 @@ func (a *Agent) Close() error {
 	a.closeOnce.Do(func() {
 		close(a.stop)
 		<-a.done
-		if a.ticker != nil {
-			a.ticker.Stop()
-		}
+		a.sched.wait()
 		if a.probeTicker != nil {
 			a.probeTicker.Stop()
 		}

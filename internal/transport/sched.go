@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+)
+
+// tickDuration maps one peer.Scheduler tick onto the transport's real clock:
+// one tick is one millisecond. The simulator's virtual ticks and the agent's
+// wall clock therefore speak the same contract, and a protocol written
+// against peer.Scheduler runs unchanged in both environments.
+const tickDuration = time.Millisecond
+
+// clockScheduler implements peer.Scheduler on the wall clock. Due messages
+// are handed to deliver, which is responsible for funneling them onto the
+// agent's actor goroutine (and for honoring shutdown); periodic tasks stop
+// when stop closes.
+type clockScheduler struct {
+	start   time.Time
+	deliver func(msg.Message)
+	stop    <-chan struct{}
+	wg      sync.WaitGroup // periodic firing goroutines, for clean Close
+}
+
+var _ peer.Scheduler = (*clockScheduler)(nil)
+
+// newClockScheduler starts the scheduler's epoch at the current instant.
+func newClockScheduler(deliver func(msg.Message), stop <-chan struct{}) *clockScheduler {
+	return &clockScheduler{start: time.Now(), deliver: deliver, stop: stop}
+}
+
+// Now implements peer.Scheduler: milliseconds since the scheduler's epoch,
+// monotonic (time.Since uses the monotonic clock reading).
+func (c *clockScheduler) Now() uint64 {
+	return uint64(time.Since(c.start) / tickDuration)
+}
+
+// After implements peer.Scheduler: m is delivered to the local process once
+// delay ticks of wall time have elapsed.
+func (c *clockScheduler) After(delay uint64, m msg.Message) {
+	time.AfterFunc(time.Duration(delay)*tickDuration, func() {
+		select {
+		case <-c.stop:
+		default:
+			c.deliver(m)
+		}
+	})
+}
+
+// Every implements peer.Scheduler: m is delivered every interval ticks until
+// the agent closes. A zero interval is clamped to one tick.
+func (c *clockScheduler) Every(interval uint64, m msg.Message) {
+	if interval == 0 {
+		interval = 1
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(time.Duration(interval) * tickDuration)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.deliver(m)
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// wait blocks until all periodic firing goroutines have exited (stop must
+// already be closed).
+func (c *clockScheduler) wait() { c.wg.Wait() }

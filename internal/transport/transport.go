@@ -14,9 +14,11 @@
 // broadcast (AgentConfig.Broadcast), and optionally the X-BOT overlay
 // optimizer fed by live PING/PONG RTT measurements (AgentConfig.Optimize) —
 // inside a single actor goroutine, so the same unsynchronized protocol code
-// runs here and in the simulator. Protocol timers that the simulator models
-// with self-addressed messages (Plumtree's missing-message timer) are
-// scheduled on the real clock instead; see AgentConfig.PlumtreeTimer.
+// runs here and in the simulator. The agent also provides the real-clock
+// half of the peer.Scheduler contract (one tick = 1ms): protocols schedule
+// their own timers and periodic rounds — Plumtree's missing-message timer,
+// HyParView's shuffle ΔT, X-BOT's optimization cadence — and the scheduled
+// messages re-enter the actor loop exactly like network traffic.
 package transport
 
 import (

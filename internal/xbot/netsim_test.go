@@ -169,3 +169,62 @@ func TestXBotSurvivesMassFailure(t *testing.T) {
 		}
 	}
 }
+
+// buildPeriodicOverlay is buildOverlay's scheduler-driven twin: every core
+// schedules its own ΔT shuffle round and every optimizer its own attempt
+// cadence on the simulator's virtual clock; stabilization is RunFor, not
+// external cycles.
+func buildPeriodicOverlay(t *testing.T, n int, interval, duration, seed uint64) (*netsim.Sim, map[id.ID]peer.Membership, *netsim.Euclidean) {
+	t.Helper()
+	s := netsim.New(seed)
+	model := netsim.NewEuclidean(seed)
+	members := make(map[id.ID]peer.Membership, n)
+	for i := 0; i < n; i++ {
+		nodeID := id.ID(i + 1)
+		s.Add(nodeID, func(env peer.Env) peer.Process {
+			hv := core.New(env, core.Config{ShuffleInterval: interval})
+			m := peer.Membership(xbot.New(env, hv, xbot.Config{Interval: interval}, model))
+			members[nodeID] = m
+			return m
+		})
+		if i > 0 {
+			j := members[nodeID].(interface{ Join(id.ID) error })
+			if err := j.Join(1); err != nil {
+				t.Fatalf("join of %v failed: %v", nodeID, err)
+			}
+			s.Drain()
+		}
+	}
+	s.RunFor(duration)
+	return s, members, model
+}
+
+// TestScheduledOptimizationRounds runs the full stack in scheduler-driven
+// periodic mode: optimization attempts are timer events on the virtual
+// clock, and they must still cut the overlay's link cost against an
+// oblivious baseline built from the same seed.
+func TestScheduledOptimizationRounds(t *testing.T) {
+	const n, seed = 150, 11
+	const interval, rounds = 100, 40
+	sObl, mObl, model := buildOverlay(t, n, rounds, seed, false)
+	sOpt, mOpt, _ := buildPeriodicOverlay(t, n, interval, interval*rounds, seed)
+
+	if got := sOpt.Now(); got < interval*rounds {
+		t.Fatalf("virtual clock at %d, want >= %d (RunFor drives periodic rounds)", got, interval*rounds)
+	}
+	var attempts uint64
+	for _, nodeID := range sOpt.AliveIDs() {
+		attempts += mOpt[nodeID].(*xbot.Node).Stats().Attempts
+	}
+	if attempts == 0 {
+		t.Fatal("no scheduler-driven optimization attempts")
+	}
+	oblCost := meanLinkCost(sObl, mObl, model)
+	optCost := meanLinkCost(sOpt, mOpt, model)
+	if oblCost <= 0 {
+		t.Fatal("baseline overlay has no links")
+	}
+	if optCost >= 0.8*oblCost {
+		t.Errorf("periodic-mode mean link cost %.1f not ≥20%% below oblivious %.1f", optCost, oblCost)
+	}
+}

@@ -63,6 +63,7 @@
 package xbot
 
 import (
+	"errors"
 	"sort"
 
 	"hyparview/internal/id"
@@ -111,8 +112,17 @@ type Membership interface {
 // Config parameterizes the optimizer. Zero fields take defaults.
 type Config struct {
 	// Period is the number of membership cycles between optimization
-	// attempts. Default 1 (attempt every cycle).
+	// attempts in externally-driven cycle mode (OnCycle). Default 1
+	// (attempt every cycle). Ignored when Interval is set.
 	Period int
+
+	// Interval, when non-zero, switches the optimizer to scheduler-driven
+	// rounds: one optimization attempt every Interval ticks, registered on
+	// the environment's peer.Scheduler at construction. OnCycle then runs
+	// only the wrapped protocol's cycle. This is the paper-faithful periodic
+	// mode; the cluster harness derives it from the membership shuffle
+	// interval. Default 0 (cycle-driven).
+	Interval uint64
 
 	// Candidates is the number of passive-view members probed per attempt
 	// (the paper's Passive Scan Length). Default 2.
@@ -127,10 +137,32 @@ type Config struct {
 	// Default 1.
 	ProtectTopK int
 
-	// PendingTimeout is the number of cycles an unanswered handshake may
-	// stay outstanding before its state is dropped (peers crash, replies
-	// get lost to partitions). Default 3.
-	PendingTimeout int
+	// PendingTTL is how long, in scheduler ticks, an unanswered handshake
+	// may stay outstanding before its state is dropped (peers crash,
+	// replies get lost to partitions). Every handshake arms an expiry sweep
+	// via peer.Scheduler.After; the sweep fires behind all in-flight
+	// traffic, so in the simulator's FIFO mode a stuck handshake is
+	// reclaimed as soon as the event heap proves no reply is coming, while
+	// under a latency model or the real clock the TTL must exceed the
+	// 4-node handshake's round-trip. Default 5000.
+	PendingTTL uint64
+}
+
+// DeriveInterval fills Interval from the duration of one membership round
+// in scheduler ticks — Period rounds per optimization attempt — unless an
+// explicit Interval is already set or there is no round clock. Both
+// environments derive the cadence through this one rule, so the simulator
+// and the deployment can never silently disagree on it.
+func (c Config) DeriveInterval(roundTicks uint64) Config {
+	if c.Interval != 0 || roundTicks == 0 {
+		return c
+	}
+	period := c.Period
+	if period <= 0 {
+		period = 1
+	}
+	c.Interval = roundTicks * uint64(period)
+	return c
 }
 
 // WithDefaults fills unset fields.
@@ -144,8 +176,8 @@ func (c Config) WithDefaults() Config {
 	if c.ProtectTopK == 0 {
 		c.ProtectTopK = 1
 	}
-	if c.PendingTimeout == 0 {
-		c.PendingTimeout = 3
+	if c.PendingTTL == 0 {
+		c.PendingTTL = 5000
 	}
 	return c
 }
@@ -165,14 +197,14 @@ type Stats struct {
 type initState struct {
 	old       id.ID // the active neighbor being replaced
 	candidate id.ID
-	age       int
+	deadline  uint64 // scheduler tick after which the handshake expires
 }
 
 // candState is the candidate's outstanding delegation, keyed by initiator.
 type candState struct {
-	old     id.ID // the initiator's neighbor being replaced
-	evictee id.ID // d: the neighbor this node offered to disconnect
-	age     int
+	old      id.ID // the initiator's neighbor being replaced
+	evictee  id.ID // d: the neighbor this node offered to disconnect
+	deadline uint64
 }
 
 // discState is the disconnected node's outstanding switch, keyed by
@@ -180,7 +212,7 @@ type candState struct {
 type discState struct {
 	candidate id.ID // c: the neighbor this node will trade away
 	old       id.ID // o: the replacement neighbor being negotiated
-	age       int
+	deadline  uint64
 }
 
 // Node is one X-BOT optimizer instance layered over a Membership. It is not
@@ -208,11 +240,13 @@ type Node struct {
 var _ peer.Membership = (*Node)(nil)
 
 // New layers an X-BOT optimizer over inner, measuring links with oracle.
+// With Config.Interval set, the optimization cadence is registered on the
+// environment's scheduler here; otherwise rounds are driven by OnCycle.
 func New(env peer.Env, inner Membership, cfg Config, oracle Oracle) *Node {
 	if oracle == nil {
 		panic("xbot: nil cost oracle")
 	}
-	return &Node{
+	n := &Node{
 		env:         env,
 		self:        env.Self(),
 		inner:       inner,
@@ -222,6 +256,12 @@ func New(env peer.Env, inner Membership, cfg Config, oracle Oracle) *Node {
 		asDisc:      make(map[id.ID]*discState),
 		biased:      make(map[id.ID]bool),
 	}
+	if n.cfg.Interval > 0 {
+		env.Every(n.cfg.Interval, msg.Message{
+			Type: msg.Tick, Sender: n.self, Round: msg.TickXBotOptimize,
+		})
+	}
+	return n
 }
 
 // Inner returns the wrapped membership protocol (tests, metrics).
@@ -260,9 +300,23 @@ func (n *Node) OnPeerDown(peerID id.ID) {
 }
 
 // Deliver implements peer.Membership: X-BOT traffic is consumed here,
-// everything else reaches the wrapped protocol.
+// everything else reaches the wrapped protocol. Scheduler ticks addressed to
+// this layer (optimization rounds, handshake expiry sweeps) are recognized
+// by their kind; every other tick descends to the wrapped protocol.
 func (n *Node) Deliver(from id.ID, m msg.Message) {
 	switch m.Type {
+	case msg.Tick:
+		if from == n.self {
+			switch m.Round {
+			case msg.TickXBotOptimize:
+				n.tryOptimize()
+				return
+			case msg.TickXBotExpire:
+				n.sweep()
+				return
+			}
+		}
+		n.inner.Deliver(from, m)
 	case msg.XBotOptimization:
 		n.onOptimization(from, m)
 	case msg.XBotOptimizationReply:
@@ -283,11 +337,14 @@ func (n *Node) Deliver(from id.ID, m msg.Message) {
 }
 
 // OnCycle implements peer.Membership: the wrapped protocol's cycle runs
-// first (shuffle, repair), then stale handshakes expire, then — every
-// Period cycles — one optimization attempt starts.
+// first (shuffle, repair), then — in cycle-driven mode, every Period
+// cycles — one optimization attempt starts. With Config.Interval set the
+// optimization cadence and handshake expiry ride the scheduler instead.
 func (n *Node) OnCycle() {
 	n.inner.OnCycle()
-	n.expire()
+	if n.cfg.Interval != 0 {
+		return
+	}
 	n.cycles++
 	if n.cycles%n.cfg.Period == 0 {
 		n.tryOptimize()
@@ -318,7 +375,7 @@ func (n *Node) tryOptimize() {
 		CostOld: oldCost,
 		CostNew: candCost,
 	}) {
-		n.pending = &initState{old: old, candidate: candidate}
+		n.pending = &initState{old: old, candidate: candidate, deadline: n.armExpiry()}
 		n.stats.Attempts++
 	}
 }
@@ -503,7 +560,7 @@ func (n *Node) onOptimization(from id.ID, m msg.Message) {
 		CostOld: m.CostOld,     // cost(i, o), relayed
 		CostNew: m.CostNew,     // cost(i, c), relayed
 	}) {
-		n.asCandidate[from] = &candState{old: m.Subject, evictee: evictee}
+		n.asCandidate[from] = &candState{old: m.Subject, evictee: evictee, deadline: n.armExpiry()}
 	} else {
 		// The evictee died under us; the send already triggered repair.
 		n.send(from, msg.Message{
@@ -587,7 +644,7 @@ func (n *Node) onReplace(from id.ID, m msg.Message) {
 		Subject: initiator,
 		Nodes:   []id.ID{from}, // c, the candidate
 	}) {
-		n.asDisc[initiator] = &discState{candidate: from, old: old}
+		n.asDisc[initiator] = &discState{candidate: from, old: old, deadline: n.armExpiry()}
 	} else {
 		reject()
 	}
@@ -654,16 +711,20 @@ func (n *Node) onDisconnectWait(from id.ID) {
 
 // --- shared plumbing --------------------------------------------------------
 
-// send transmits m to dst, reporting failures to the wrapped protocol (X-BOT
-// traffic doubles as a failure detector exactly like broadcast traffic does)
-// and abandoning any handshake state involving the dead peer.
+// send transmits m to dst, reporting proven-down peers to the wrapped
+// protocol (X-BOT traffic doubles as a failure detector exactly like
+// broadcast traffic does) and abandoning any handshake state involving the
+// dead peer. Other send errors (queue-overflow degradation) lose the message
+// without indicting the link; the handshake expiry sweep reclaims the state.
 func (n *Node) send(dst id.ID, m msg.Message) bool {
 	if dst.IsNil() || dst == n.self {
 		return false
 	}
 	if err := n.env.Send(dst, m); err != nil {
-		n.dropPeerState(dst)
-		n.inner.OnPeerDown(dst)
+		if errors.Is(err, peer.ErrPeerDown) {
+			n.dropPeerState(dst)
+			n.inner.OnPeerDown(dst)
+		}
 		return false
 	}
 	return true
@@ -688,25 +749,32 @@ func (n *Node) dropPeerState(peerID id.ID) {
 	}
 }
 
-// expire ages outstanding handshakes and drops the ones that outlived
-// PendingTimeout cycles: their counterpart crashed or the reply was lost.
-func (n *Node) expire() {
-	if st := n.pending; st != nil {
-		if st.age++; st.age > n.cfg.PendingTimeout {
-			n.pending = nil
-			n.stats.Expired++
-		}
+// armExpiry stamps a new handshake's deadline and schedules the sweep that
+// reclaims its state if the counterpart crashes or the reply is lost.
+func (n *Node) armExpiry() uint64 {
+	n.env.After(n.cfg.PendingTTL, msg.Message{
+		Type: msg.Tick, Sender: n.self, Round: msg.TickXBotExpire,
+	})
+	return n.env.Now() + n.cfg.PendingTTL
+}
+
+// sweep drops every outstanding handshake whose deadline has passed. Sweeps
+// fired by one handshake's timer never reap a younger handshake: its
+// deadline is strictly later than the sweeping tick.
+func (n *Node) sweep() {
+	now := n.env.Now()
+	if st := n.pending; st != nil && now >= st.deadline {
+		n.pending = nil
+		n.stats.Expired++
 	}
 	for _, i := range sortedKeys(n.asCandidate) {
-		st := n.asCandidate[i]
-		if st.age++; st.age > n.cfg.PendingTimeout {
+		if now >= n.asCandidate[i].deadline {
 			delete(n.asCandidate, i)
 			n.stats.Expired++
 		}
 	}
 	for _, i := range sortedKeys(n.asDisc) {
-		st := n.asDisc[i]
-		if st.age++; st.age > n.cfg.PendingTimeout {
+		if now >= n.asDisc[i].deadline {
 			delete(n.asDisc, i)
 			n.stats.Expired++
 		}

@@ -7,6 +7,7 @@ import (
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
+	"hyparview/internal/peer/peertest"
 	"hyparview/internal/rng"
 )
 
@@ -29,6 +30,7 @@ func (o mapOracle) Cost(a, b id.ID) uint64 {
 
 // fakeEnv is a scriptable peer.Env recording sends.
 type fakeEnv struct {
+	peertest.ManualScheduler
 	self id.ID
 	rand *rng.Rand
 	down map[id.ID]bool
@@ -551,19 +553,51 @@ func TestPendingHandshakeExpires(t *testing.T) {
 	oracle.set(1, 2, 10)
 	oracle.set(1, 3, 100)
 	oracle.set(1, 4, 20)
-	n, m, env := newTestNode(1, 2, Config{PendingTimeout: 2}, oracle)
+	n, m, env := newTestNode(1, 2, Config{PendingTTL: 7}, oracle)
 	m.active = []id.ID{2, 3}
 	m.passive = []id.ID{4}
 	n.OnCycle()
 	env.take()
-	n.OnCycle() // age 1
-	n.OnCycle() // age 2
-	n.OnCycle() // age 3 > timeout: dropped, new attempt may start
+	if env.Pending() != 1 {
+		t.Fatalf("expiry sweeps armed = %d, want 1 (via peer.Scheduler)", env.Pending())
+	}
+	// The candidate never answers: the scheduler fires the expiry sweep at
+	// the handshake's deadline and the state is reclaimed.
+	for _, tick := range env.Advance(7) {
+		n.Deliver(1, tick)
+	}
 	if n.Stats().Expired == 0 {
 		t.Error("stuck handshake never expired")
 	}
+	n.OnCycle()
 	if _, ok := env.lastOfType(msg.XBotOptimization); !ok {
 		t.Error("no fresh attempt after expiry")
+	}
+}
+
+func TestExpirySweepSparesYoungerHandshake(t *testing.T) {
+	oracle := mapOracle{}
+	oracle.set(1, 2, 10)
+	oracle.set(1, 3, 100)
+	oracle.set(1, 4, 20)
+	n, m, env := newTestNode(1, 2, Config{PendingTTL: 50}, oracle)
+	m.active = []id.ID{2, 3}
+	m.passive = []id.ID{4}
+	n.OnCycle() // handshake armed at t=0, deadline 50
+	env.take()
+	// A sweep firing before the deadline (e.g. armed by an older handshake)
+	// must leave the outstanding state alone.
+	for _, tick := range env.Advance(49) {
+		n.Deliver(1, tick)
+	}
+	if n.pending == nil {
+		t.Fatal("sweep before the deadline reaped a live handshake")
+	}
+	for _, tick := range env.Advance(1) {
+		n.Deliver(1, tick)
+	}
+	if n.pending != nil {
+		t.Error("handshake survived its deadline")
 	}
 }
 
@@ -595,7 +629,10 @@ func TestDeliverDelegatesNonXBotTraffic(t *testing.T) {
 
 func TestConfigDefaults(t *testing.T) {
 	cfg := Config{}.WithDefaults()
-	if cfg.Period != 1 || cfg.Candidates != 2 || cfg.ProtectTopK != 1 || cfg.PendingTimeout != 3 {
+	if cfg.Period != 1 || cfg.Candidates != 2 || cfg.ProtectTopK != 1 || cfg.PendingTTL != 5000 {
 		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.Interval != 0 {
+		t.Errorf("Interval defaulted to %d, want 0 (cycle-driven)", cfg.Interval)
 	}
 }
