@@ -19,7 +19,8 @@
 // -shuffle-interval=<ticks> switches HyParView to scheduler-driven periodic
 // shuffle rounds (the paper's ΔT as real timer events) and -duration=<ticks>
 // then expresses the stabilization budget as virtual time instead of a cycle
-// count.
+// count. -cpuprofile/-memprofile write pprof profiles of the run (see the
+// Profiling section of docs/EXPERIMENTS.md for methodology).
 package main
 
 import (
@@ -27,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -46,25 +49,51 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hpv-sim", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|plumtree|xbot|all")
-		n         = fs.Int("n", 10000, "cluster size (paper: 10000)")
-		seed      = fs.Uint64("seed", 1, "base random seed")
-		msgs      = fs.Int("msgs", 1000, "messages per burst for fig2 (paper: 1000)")
-		fig3M     = fs.Int("fig3msgs", 100, "messages per series for fig3/fig1c")
-		cycles    = fs.Int("stabilize", 50, "stabilization cycles (paper: 50)")
-		shuffleIv = fs.Uint64("shuffle-interval", 0, "virtual ticks between HyParView shuffle rounds; >0 switches to scheduler-driven periodic mode (rounds are timer events, not external cycles)")
-		duration  = fs.Uint64("duration", 0, "stabilization budget as a virtual-time duration in ticks, rounded up to whole shuffle rounds (requires -shuffle-interval; overrides -stabilize)")
-		fanout    = fs.Int("fanout", 4, "gossip fanout for Cyclon/Scamp (paper: 4)")
-		broadcast = fs.String("broadcast", "gossip", "broadcast layer: gossip (flood/fanout) or plumtree")
-		latency   = fs.String("latency", "none", "latency model: none (FIFO), uniform, euclidean or transit")
-		optimize  = fs.String("optimize", "none", "overlay optimizer: none or xbot (HyParView only)")
-		pcts      = fs.String("pcts", "", "comma-separated failure percentages (default per experiment)")
-		asp       = fs.Int("asp-samples", 200, "BFS sources for avg shortest path (0 = exact)")
-		runs      = fs.Int("runs", 1, "independent seeded runs to aggregate for fig2/fig4")
-		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		exp        = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|plumtree|xbot|all")
+		n          = fs.Int("n", 10000, "cluster size (paper: 10000)")
+		seed       = fs.Uint64("seed", 1, "base random seed")
+		msgs       = fs.Int("msgs", 1000, "messages per burst for fig2 (paper: 1000)")
+		fig3M      = fs.Int("fig3msgs", 100, "messages per series for fig3/fig1c")
+		cycles     = fs.Int("stabilize", 50, "stabilization cycles (paper: 50)")
+		shuffleIv  = fs.Uint64("shuffle-interval", 0, "virtual ticks between HyParView shuffle rounds; >0 switches to scheduler-driven periodic mode (rounds are timer events, not external cycles)")
+		duration   = fs.Uint64("duration", 0, "stabilization budget as a virtual-time duration in ticks, rounded up to whole shuffle rounds (requires -shuffle-interval; overrides -stabilize)")
+		fanout     = fs.Int("fanout", 4, "gossip fanout for Cyclon/Scamp (paper: 4)")
+		broadcast  = fs.String("broadcast", "gossip", "broadcast layer: gossip (flood/fanout) or plumtree")
+		latency    = fs.String("latency", "none", "latency model: none (FIFO), uniform, euclidean or transit")
+		optimize   = fs.String("optimize", "none", "overlay optimizer: none or xbot (HyParView only)")
+		pcts       = fs.String("pcts", "", "comma-separated failure percentages (default per experiment)")
+		asp        = fs.Int("asp-samples", 200, "BFS sources for avg shortest path (0 = exact)")
+		runs       = fs.Int("runs", 1, "independent seeded runs to aggregate for fig2/fig4")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			// Collect first so the profile shows live protocol state, not
+			// construction garbage (the methodology in docs/EXPERIMENTS.md).
+			runtime.GC()
+			_ = pprof.WriteHeapProfile(f)
+			_ = f.Close()
+		}()
 	}
 	opts := sim.Options{
 		N:                   *n,

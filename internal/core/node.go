@@ -36,8 +36,11 @@ type Node struct {
 	self id.ID
 	cfg  Config
 
-	active  *view.View
-	passive *view.View
+	// The views are embedded by value: every per-delivery lookup reaches
+	// the member arrays through one pointer (the Node itself) instead of
+	// chasing a second allocation.
+	active  view.View
+	passive view.View
 
 	// pendingNeighbor is the passive member we sent a NEIGHBOR request to
 	// and whose reply is outstanding; Nil when no request is in flight. At
@@ -46,13 +49,24 @@ type Node struct {
 
 	// repairTried tracks passive members already attempted during the
 	// current repair episode, so a node whose views are saturated with
-	// rejecting peers does not loop forever on the same candidate.
-	repairTried map[id.ID]bool
+	// rejecting peers does not loop forever on the same candidate. It is a
+	// small reused slice (the passive view holds ≈30 entries): a linear scan
+	// beats a map at this size and resetting an episode is a length
+	// truncation, not a re-allocation.
+	repairTried []id.ID
 
 	// lastShuffleSent remembers the identifiers included in our most recent
 	// SHUFFLE request; the paper's integration rule prefers evicting these
 	// when the reply does not fit in the passive view (§4.4).
 	lastShuffleSent []id.ID
+
+	// Reused scratch buffers for the allocation-free steady-state paths.
+	// Their contents never leave the node inside a message: slices handed to
+	// Send are frozen by the ownership rules on package peer, so anything a
+	// message carries (shuffle lists, replies) is freshly allocated instead.
+	gossipScratch []id.ID // GossipTargets result (owned, valid until next call)
+	sentScratch   []id.ID // integrateShuffle's consumable sent-list copy
+	pickScratch   []id.ID // pickRepairCandidate's shuffled passive snapshot
 
 	listener Listener
 	stats    Stats
@@ -73,13 +87,12 @@ func New(env peer.Env, cfg Config) *Node {
 		panic(err)
 	}
 	n := &Node{
-		env:         env,
-		self:        env.Self(),
-		cfg:         cfg,
-		active:      view.New(cfg.ActiveSize),
-		passive:     view.New(cfg.PassiveSize),
-		repairTried: make(map[id.ID]bool),
+		env:  env,
+		self: env.Self(),
+		cfg:  cfg,
 	}
+	n.active.Init(cfg.ActiveSize)
+	n.passive.Init(cfg.PassiveSize)
 	if cfg.ShuffleInterval > 0 {
 		env.Every(cfg.ShuffleInterval, msg.Message{
 			Type: msg.Tick, Sender: n.self, Round: msg.TickShuffle,
@@ -131,17 +144,19 @@ func (n *Node) PassiveContains(peerID id.ID) bool { return n.passive.Contains(pe
 // the active view.
 func (n *Node) Neighbors() []id.ID { return n.active.Members() }
 
+// NeighborVersion implements peer.NeighborVersioned: the active view's
+// change counter. Layers mirroring the neighborhood (Plumtree) resync only
+// when it moves.
+func (n *Node) NeighborVersion() uint64 { return n.active.Version() }
+
 // GossipTargets implements peer.Membership. HyParView floods: every active
 // member except the link the message arrived on (paper §4.1), so the fanout
-// argument is ignored.
+// argument is ignored. Per the interface contract the result is a reused
+// scratch buffer, valid only until the next call — this runs once per
+// delivered broadcast and must not allocate.
 func (n *Node) GossipTargets(_ int, exclude id.ID) []id.ID {
-	out := make([]id.ID, 0, n.active.Len())
-	n.active.ForEach(func(m id.ID) {
-		if m != exclude {
-			out = append(out, m)
-		}
-	})
-	return out
+	n.gossipScratch = n.active.AppendExcept(n.gossipScratch[:0], exclude)
+	return n.gossipScratch
 }
 
 // OnPeerDown implements peer.Membership: a send to an active member failed,
@@ -394,8 +409,22 @@ func (n *Node) handleNeighborReply(from id.ID, accept bool) {
 	}
 	// Rejected: the peer stays in our passive view and we try another
 	// candidate (paper §4.3).
-	n.repairTried[from] = true
+	if !n.triedInEpisode(from) {
+		n.repairTried = append(n.repairTried, from)
+	}
 	n.startRepair()
+}
+
+// triedInEpisode reports whether candidate was already attempted in the
+// current repair episode (linear scan; the list is at most passive-view
+// sized).
+func (n *Node) triedInEpisode(candidate id.ID) bool {
+	for _, t := range n.repairTried {
+		if t == candidate {
+			return true
+		}
+	}
+	return false
 }
 
 // startRepair launches (or continues) a promotion attempt if the active view
@@ -446,24 +475,23 @@ func (n *Node) pickRepairCandidate() (id.ID, bool) {
 	if n.passive.Empty() {
 		return id.Nil, false
 	}
-	// The passive view is small (≈30): scanning a shuffled copy is cheap
-	// and guarantees termination of the episode.
-	members := n.passive.Members()
+	// The passive view is small (≈30): scanning a shuffled scratch copy is
+	// cheap and guarantees termination of the episode.
+	members := n.passive.AppendMembers(n.pickScratch[:0])
+	n.pickScratch = members
 	r := n.env.Rand()
 	r.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
 	for _, m := range members {
-		if !n.repairTried[m] {
+		if !n.triedInEpisode(m) {
 			return m, true
 		}
 	}
 	return id.Nil, false
 }
 
-// resetRepairEpisode clears per-episode rejection bookkeeping.
+// resetRepairEpisode clears per-episode rejection bookkeeping in place.
 func (n *Node) resetRepairEpisode() {
-	if len(n.repairTried) > 0 {
-		n.repairTried = make(map[id.ID]bool)
-	}
+	n.repairTried = n.repairTried[:0]
 }
 
 // --- Passive view management (paper §4.4) -----------------------------------
@@ -491,10 +519,15 @@ func (n *Node) initiateShuffle() {
 		return
 	}
 	r := n.env.Rand()
+	// The list rides inside the SHUFFLE message for up to ShuffleTTL hops,
+	// so it must be freshly allocated and stay frozen (ownership rules on
+	// package peer) — a reused buffer would be corrupted under the next
+	// shuffle while the walk is still relaying this one. SampleInto keeps
+	// the assembly itself scratch-based and single-allocation.
 	list := make([]id.ID, 0, 1+n.cfg.ShuffleKa+n.cfg.ShuffleKp)
 	list = append(list, n.self)
-	list = append(list, n.active.Sample(r, n.cfg.ShuffleKa)...)
-	list = append(list, n.passive.Sample(r, n.cfg.ShuffleKp)...)
+	list = n.active.SampleInto(r, n.cfg.ShuffleKa, list)
+	list = n.passive.SampleInto(r, n.cfg.ShuffleKp, list)
 	n.lastShuffleSent = list
 	n.stats.ShufflesInitiated++
 	if err := n.env.Send(target, msg.Message{
@@ -557,8 +590,11 @@ func (n *Node) handleShuffleReply(m msg.Message) {
 // the view is full, eviction prefers identifiers that were sent to the peer
 // in the same exchange, then falls back to random eviction (paper §4.4).
 // sentToPeer is consumed in slice order to keep the simulation deterministic.
+// The consumable copy lives in a reused scratch buffer: it never leaves this
+// call, while sentToPeer itself may be a frozen message slice.
 func (n *Node) integrateShuffle(received, sentToPeer []id.ID) {
-	sent := append([]id.ID(nil), sentToPeer...)
+	n.sentScratch = append(n.sentScratch[:0], sentToPeer...)
+	sent := n.sentScratch
 	for _, node := range received {
 		if node == n.self || node.IsNil() ||
 			n.active.Contains(node) || n.passive.Contains(node) {

@@ -100,6 +100,10 @@ type Node struct {
 	// full.
 	lastSent []msg.Entry
 
+	// gossipScratch backs GossipTargets' reused result buffer (see the
+	// peer.Membership contract).
+	gossipScratch []id.ID
+
 	stats Stats
 }
 
@@ -161,17 +165,19 @@ func (n *Node) Neighbors() []id.ID {
 }
 
 // GossipTargets implements peer.Membership: fanout uniformly random distinct
-// view members, excluding exclude.
+// view members, excluding exclude. The result is a reused scratch buffer,
+// valid until the next call (peer.Membership contract).
 func (n *Node) GossipTargets(fanout int, exclude id.ID) []id.ID {
 	if fanout <= 0 || len(n.entries) == 0 {
 		return nil
 	}
-	candidates := make([]id.ID, 0, len(n.entries))
+	candidates := n.gossipScratch[:0]
 	for _, e := range n.entries {
 		if e.Node != exclude {
 			candidates = append(candidates, e.Node)
 		}
 	}
+	n.gossipScratch = candidates
 	r := n.env.Rand()
 	if fanout >= len(candidates) {
 		return candidates

@@ -22,7 +22,21 @@ import (
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
+	"hyparview/internal/roundcache"
 )
+
+// DefaultSeenWindow is the default window, in rounds, of the per-node
+// delivered-message cache (Config.SeenWindow): a node remembers (and
+// deduplicates) the last SeenWindow round identifiers it delivered. Rounds
+// are allocated monotonically, so the direct-mapped cache behaves as a ring
+// over the most recent rounds; a copy arriving more than SeenWindow rounds
+// late would be re-delivered, the bounded-memory trade every deployed
+// message-id cache makes. Deliveries of one round are always fully drained
+// before the harness starts the next, so the window only has to cover the
+// rounds genuinely in flight at once; 128 keeps the per-node footprint at
+// ~3KB (a 256-slot open-addressed table plus the 128-entry eviction ring) —
+// flat for the life of the node — even at 100k-node populations.
+const DefaultSeenWindow = 128
 
 // Mode selects the forwarding strategy.
 type Mode uint8
@@ -60,6 +74,10 @@ type Config struct {
 	// detector) and CyclonAcked (acknowledgments); false for plain Cyclon
 	// and SCAMP whose gossip is fire-and-forget.
 	ReportPeerDown bool
+
+	// SeenWindow is the capacity, in rounds, of the delivered-message
+	// dedup cache (see DefaultSeenWindow). Zero takes the default.
+	SeenWindow int
 }
 
 // Delivery is the callback invoked exactly once per locally delivered
@@ -86,11 +104,15 @@ type Broadcaster interface {
 	// rejected with peer.ErrPeerDown.
 	Counters() (delivered, duplicates, forwarded, sendFails uint64)
 
-	// Seen reports whether the node has delivered round.
+	// Seen reports whether the node has delivered round. The underlying
+	// state is a fixed-capacity cache over the most recent rounds (see
+	// DefaultSeenWindow), so Seen reports false for rounds older than the
+	// window.
 	Seen(round uint64) bool
 
-	// ResetSeen clears the delivered-message state to bound memory in long
-	// experiments.
+	// ResetSeen clears the delivered-message state in place. The caches are
+	// fixed-capacity, so this is a semantic reset (start a fresh round
+	// epoch), not a memory bound.
 	ResetSeen()
 
 	// Membership returns the wrapped membership protocol.
@@ -104,8 +126,29 @@ type Node struct {
 	env        peer.Env
 	membership peer.Membership
 	cfg        Config
-	seen       map[uint64]struct{}
+	seen       roundcache.Set
 	onDeliver  Delivery
+
+	// sendRef is env's optional by-reference send fast path (peer.RefSender),
+	// probed once here; nil means fall back to env.Send. The flood fan-out
+	// pushes one frozen message to every neighbor, so skipping the by-value
+	// argument copy per link is measurable at scale.
+	sendRef func(dst id.ID, m *msg.Message) error
+
+	// fwdScratch stages the outgoing copy of a relayed broadcast. It lives
+	// on the node (already heap-allocated) so that taking its address for
+	// the by-reference send path cannot make the message escape — a
+	// stack-local here would cost one heap allocation per delivered event.
+	fwdScratch msg.Message
+
+	// lastRound/hasLast fast-path the dominant dedup case: a redundant copy
+	// of the round delivered most recently. Flood redundancy means most
+	// receptions are duplicates of the round currently in flight, and this
+	// check resolves on the node's own (already loaded) cache line instead
+	// of a random access into the seen table. lastRound is also in the seen
+	// cache — this is an accelerator, not a second source of truth.
+	lastRound uint64
+	hasLast   bool
 
 	// Counters for the evaluation.
 	delivered  uint64
@@ -124,13 +167,20 @@ func New(env peer.Env, membership peer.Membership, cfg Config, onDeliver Deliver
 	if cfg.Mode == Fanout && cfg.Fanout <= 0 {
 		cfg.Fanout = 4
 	}
-	return &Node{
+	if cfg.SeenWindow <= 0 {
+		cfg.SeenWindow = DefaultSeenWindow
+	}
+	n := &Node{
 		env:        env,
 		membership: membership,
 		cfg:        cfg,
-		seen:       make(map[uint64]struct{}),
 		onDeliver:  onDeliver,
 	}
+	if rs, ok := env.(peer.RefSender); ok {
+		n.sendRef = rs.SendRef
+	}
+	n.seen.Init(cfg.SeenWindow)
+	return n
 }
 
 // Membership returns the wrapped membership protocol.
@@ -142,7 +192,7 @@ func (n *Node) Deliver(from id.ID, m msg.Message) {
 		n.membership.Deliver(from, m)
 		return
 	}
-	n.receiveGossip(from, m)
+	n.receiveGossip(from, &m)
 }
 
 // OnCycle implements peer.Process by delegating to the membership protocol.
@@ -152,42 +202,55 @@ func (n *Node) OnCycle() { n.membership.OnCycle() }
 // from this node. Round identifiers must be unique per message (the
 // experiment harness or an application-level counter provides them).
 func (n *Node) Broadcast(round uint64, payload []byte) {
-	if _, dup := n.seen[round]; dup {
+	if n.hasLast && round == n.lastRound {
 		return
 	}
-	n.seen[round] = struct{}{}
+	if !n.seen.Add(round) {
+		return
+	}
+	n.lastRound, n.hasLast = round, true
 	n.delivered++
 	if n.onDeliver != nil {
 		n.onDeliver(round, payload, 0)
 	}
-	n.forward(id.Nil, msg.Message{
+	n.fwdScratch = msg.Message{
 		Type:    msg.Gossip,
 		Sender:  n.env.Self(),
 		Round:   round,
 		Hops:    0,
 		Payload: payload,
-	})
+	}
+	n.forward(id.Nil, &n.fwdScratch)
 }
 
-// receiveGossip handles one incoming broadcast copy.
-func (n *Node) receiveGossip(from id.ID, m msg.Message) {
-	if _, dup := n.seen[m.Round]; dup {
+// receiveGossip handles one incoming broadcast copy. m points at Deliver's
+// argument copy — by-reference purely to avoid another struct copy; it is
+// read-only here per the ownership rules.
+func (n *Node) receiveGossip(from id.ID, m *msg.Message) {
+	if n.hasLast && m.Round == n.lastRound {
 		n.duplicates++
 		return
 	}
-	n.seen[m.Round] = struct{}{}
+	if !n.seen.Add(m.Round) {
+		n.duplicates++
+		return
+	}
+	n.lastRound, n.hasLast = m.Round, true
 	n.delivered++
 	if n.onDeliver != nil {
 		n.onDeliver(m.Round, m.Payload, int(m.Hops)+1)
 	}
-	fwd := m
-	fwd.Sender = n.env.Self()
-	fwd.Hops = m.Hops + 1
-	n.forward(from, fwd)
+	// Copy-on-write relay: the struct copy in fwdScratch rewrites the
+	// per-hop scalars while sharing the frozen payload slice.
+	n.fwdScratch = *m
+	n.fwdScratch.Sender = n.env.Self()
+	n.fwdScratch.Hops = m.Hops + 1
+	n.forward(from, &n.fwdScratch)
 }
 
-// forward relays m to the mode's targets, excluding the arrival link.
-func (n *Node) forward(from id.ID, m msg.Message) {
+// forward relays *m to the mode's targets, excluding the arrival link. m
+// aliases fwdScratch; sends never retain it.
+func (n *Node) forward(from id.ID, m *msg.Message) {
 	var targets []id.ID
 	switch n.cfg.Mode {
 	case Flood:
@@ -196,7 +259,7 @@ func (n *Node) forward(from id.ID, m msg.Message) {
 		targets = n.membership.GossipTargets(n.cfg.Fanout, from)
 	}
 	for _, t := range targets {
-		if err := n.env.Send(t, m); err != nil {
+		if err := n.send(t, m); err != nil {
 			n.sendFails++
 			if n.cfg.ReportPeerDown && errors.Is(err, peer.ErrPeerDown) {
 				// This is the paper's failure-detection moment: the entire
@@ -212,21 +275,30 @@ func (n *Node) forward(from id.ID, m msg.Message) {
 	}
 }
 
+// send dispatches through the by-reference fast path when the environment
+// provides one. m is frozen (see package peer): both paths may alias it.
+func (n *Node) send(dst id.ID, m *msg.Message) error {
+	if n.sendRef != nil {
+		return n.sendRef(dst, m)
+	}
+	return n.env.Send(dst, *m)
+}
+
 // Counters returns (delivered, duplicates, forwarded, sendFailures).
 func (n *Node) Counters() (delivered, duplicates, forwarded, sendFails uint64) {
 	return n.delivered, n.duplicates, n.forwarded, n.sendFails
 }
 
-// Seen reports whether the node has delivered round.
+// Seen reports whether the node has delivered round within the seen window.
 func (n *Node) Seen(round uint64) bool {
-	_, ok := n.seen[round]
-	return ok
+	return n.seen.Contains(round)
 }
 
-// ResetSeen clears the delivered-message table; experiments spanning many
-// thousands of rounds use this to bound memory.
+// ResetSeen clears the delivered-message cache in place; no memory is
+// released or allocated (the cache is fixed-capacity).
 func (n *Node) ResetSeen() {
-	n.seen = make(map[uint64]struct{})
+	n.hasLast = false
+	n.seen.Reset()
 }
 
 // OnPeerDown implements peer.FailureObserver: connection-level failure

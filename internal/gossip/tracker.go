@@ -1,14 +1,29 @@
 package gossip
 
+import "hyparview/internal/roundcache"
+
+// TrackerWindow is the capacity, in rounds, of the tracker's per-round
+// statistics cache. The harness measures one round at a time (each broadcast
+// is fully drained, read and Forgotten before the next), so the window only
+// has to cover rounds measured concurrently; 1024 leaves two orders of
+// magnitude of slack while keeping the tracker a flat 32KB for the life of a
+// run.
+const TrackerWindow = 1024
+
 // Tracker aggregates per-round delivery statistics across a simulated
 // cluster. The experiment harness installs one Tracker-backed Delivery
 // callback per node and reads reliability figures from it.
 //
 // Gossip reliability is defined in the paper (§2.5) as the percentage of
 // live nodes that deliver a broadcast; 100% means atomic broadcast.
+//
+// The per-round state lives in a fixed-capacity round cache: Deliver on the
+// per-delivery hot path is one array access and never allocates, and a round
+// older than TrackerWindow behind the newest tracked round is evicted (its
+// statistics read as zero, exactly as after Forget).
 type Tracker struct {
 	next   uint64
-	rounds map[uint64]*roundStats
+	rounds *roundcache.Cache[roundStats]
 }
 
 type roundStats struct {
@@ -19,7 +34,7 @@ type roundStats struct {
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{rounds: make(map[uint64]*roundStats)}
+	return &Tracker{rounds: roundcache.New[roundStats](TrackerWindow)}
 }
 
 // NextRound allocates a fresh round identifier.
@@ -31,10 +46,9 @@ func (t *Tracker) NextRound() uint64 {
 // Deliver records one delivery of round after hops overlay hops. It is the
 // Delivery callback to install on gossip nodes.
 func (t *Tracker) Deliver(round uint64, _ []byte, hops int) {
-	rs := t.rounds[round]
-	if rs == nil {
-		rs = &roundStats{}
-		t.rounds[round] = rs
+	rs, existed := t.rounds.Put(round)
+	if !existed {
+		*rs = roundStats{}
 	}
 	rs.delivered++
 	rs.sumHops += hops
@@ -45,7 +59,7 @@ func (t *Tracker) Deliver(round uint64, _ []byte, hops int) {
 
 // Delivered returns the number of nodes that delivered round.
 func (t *Tracker) Delivered(round uint64) int {
-	if rs := t.rounds[round]; rs != nil {
+	if rs := t.rounds.Get(round); rs != nil {
 		return rs.delivered
 	}
 	return 0
@@ -62,7 +76,7 @@ func (t *Tracker) Reliability(round uint64, alive int) float64 {
 
 // MaxHops returns the maximum hop count observed for round's deliveries.
 func (t *Tracker) MaxHops(round uint64) int {
-	if rs := t.rounds[round]; rs != nil {
+	if rs := t.rounds.Get(round); rs != nil {
 		return rs.maxHops
 	}
 	return 0
@@ -70,17 +84,16 @@ func (t *Tracker) MaxHops(round uint64) int {
 
 // AvgHops returns the mean delivery hop count for round.
 func (t *Tracker) AvgHops(round uint64) float64 {
-	rs := t.rounds[round]
+	rs := t.rounds.Get(round)
 	if rs == nil || rs.delivered == 0 {
 		return 0
 	}
 	return float64(rs.sumHops) / float64(rs.delivered)
 }
 
-// Forget drops the statistics of round, bounding tracker memory in long
-// experiments.
-func (t *Tracker) Forget(round uint64) { delete(t.rounds, round) }
+// Forget drops the statistics of round.
+func (t *Tracker) Forget(round uint64) { t.rounds.Remove(round) }
 
-// Reset drops all per-round statistics but keeps the round counter
-// monotonic.
-func (t *Tracker) Reset() { t.rounds = make(map[uint64]*roundStats) }
+// Reset drops all per-round statistics in place (no allocation) but keeps
+// the round counter monotonic.
+func (t *Tracker) Reset() { t.rounds.Reset() }

@@ -1,0 +1,109 @@
+// Package idset provides a small sorted array-backed set of node
+// identifiers.
+//
+// Plumtree's eager/lazy peer partitions hold at most an active view's worth
+// of entries (≈5 for the paper's configurations), yet the protocol consults
+// them on every delivered payload. A map[id.ID]struct{} pays hashing on every
+// membership test, allocates on insert, and forces the deterministic send
+// paths to extract-and-sort the keys on every push. A sorted slice gives O(n)
+// worst-case operations that beat the map for n this small, iterates in the
+// deterministic ascending order the simulator's traces rely on without any
+// per-push allocation, and never allocates in steady state once grown.
+package idset
+
+import "hyparview/internal/id"
+
+// Set is a sorted set of node identifiers. The zero value is an empty set
+// ready for use. Not safe for concurrent use.
+type Set struct {
+	ids []id.ID
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.ids) }
+
+// search returns the insertion index of n (binary search).
+func (s *Set) search(n id.ID) int {
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ids[mid] < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Contains reports whether n is a member.
+func (s *Set) Contains(n id.ID) bool {
+	i := s.search(n)
+	return i < len(s.ids) && s.ids[i] == n
+}
+
+// Add inserts n, keeping the set sorted, and reports whether it was newly
+// inserted.
+func (s *Set) Add(n id.ID) bool {
+	i := s.search(n)
+	if i < len(s.ids) && s.ids[i] == n {
+		return false
+	}
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = n
+	return true
+}
+
+// Remove deletes n and reports whether it was present.
+func (s *Set) Remove(n id.ID) bool {
+	i := s.search(n)
+	if i >= len(s.ids) || s.ids[i] != n {
+		return false
+	}
+	s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	return true
+}
+
+// At returns the i-th member in ascending order.
+func (s *Set) At(i int) id.ID { return s.ids[i] }
+
+// AppendTo appends the members except skip to dst in ascending order and
+// returns the extended slice; dst may be a reused scratch buffer.
+func (s *Set) AppendTo(dst []id.ID, skip id.ID) []id.ID {
+	for _, n := range s.ids {
+		if n != skip {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}
+
+// Members returns a freshly allocated copy of the membership in ascending
+// order, or nil when empty.
+func (s *Set) Members() []id.ID {
+	if len(s.ids) == 0 {
+		return nil
+	}
+	return s.AppendTo(make([]id.ID, 0, len(s.ids)), id.Nil)
+}
+
+// RetainSorted keeps only the members that appear in sorted, which must be
+// in ascending order. Both sequences are sorted, so this is one merge pass
+// with no allocation.
+func (s *Set) RetainSorted(sorted []id.ID) {
+	out := s.ids[:0]
+	j := 0
+	for _, n := range s.ids {
+		for j < len(sorted) && sorted[j] < n {
+			j++
+		}
+		if j < len(sorted) && sorted[j] == n {
+			out = append(out, n)
+		}
+	}
+	s.ids = out
+}
+
+// Clear removes all members, keeping the backing array for reuse.
+func (s *Set) Clear() { s.ids = s.ids[:0] }

@@ -1,0 +1,107 @@
+package idset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hyparview/internal/id"
+)
+
+func TestSetSortedSemantics(t *testing.T) {
+	var s Set
+	ids := []id.ID{5, 2, 9, 1, 7}
+	for _, n := range ids {
+		if !s.Add(n) {
+			t.Fatalf("Add(%v) not newly inserted", n)
+		}
+	}
+	if s.Add(5) {
+		t.Fatal("duplicate Add reported as new")
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := s.Members()
+	want := []id.ID{1, 2, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+		if s.At(i) != want[i] {
+			t.Fatalf("At(%d) = %v, want %v", i, s.At(i), want[i])
+		}
+	}
+	if !s.Remove(5) || s.Remove(5) || s.Contains(5) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if !s.Contains(7) {
+		t.Fatal("unrelated member lost on Remove")
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Members() != nil {
+		t.Fatal("Clear left members behind")
+	}
+}
+
+func TestSetRetainSorted(t *testing.T) {
+	var s Set
+	for _, n := range []id.ID{1, 3, 5, 7, 9} {
+		s.Add(n)
+	}
+	s.RetainSorted([]id.ID{2, 3, 4, 7, 10})
+	got := s.Members()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("RetainSorted = %v, want [3 7]", got)
+	}
+	s.RetainSorted(nil)
+	if s.Len() != 0 {
+		t.Fatalf("RetainSorted(nil) left %d members", s.Len())
+	}
+}
+
+func TestSetAppendToSkips(t *testing.T) {
+	var s Set
+	for _, n := range []id.ID{3, 1, 2} {
+		s.Add(n)
+	}
+	scratch := make([]id.ID, 0, 4)
+	out := s.AppendTo(scratch, 2)
+	if len(out) != 2 || out[0] != 1 || out[1] != 3 {
+		t.Fatalf("AppendTo skip=2 = %v", out)
+	}
+}
+
+func TestSetAgainstMap(t *testing.T) {
+	var s Set
+	ref := map[id.ID]bool{}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		n := id.ID(r.Intn(64) + 1)
+		if r.Intn(2) == 0 {
+			if s.Add(n) == ref[n] {
+				t.Fatalf("Add(%v): inserted=%v but ref present=%v", n, !ref[n], ref[n])
+			}
+			ref[n] = true
+		} else {
+			if s.Remove(n) != ref[n] {
+				t.Fatalf("Remove(%v): removed but ref present=%v", n, ref[n])
+			}
+			delete(ref, n)
+		}
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref %d", s.Len(), len(ref))
+	}
+	want := make([]id.ID, 0, len(ref))
+	for n := range ref {
+		want = append(want, n)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := s.AppendTo(nil, id.Nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverged at %d: %v vs %v", i, got, want)
+		}
+	}
+}

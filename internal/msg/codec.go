@@ -81,9 +81,25 @@ func Encode(m Message) []byte {
 }
 
 // EncodedSize returns the exact number of bytes Encode will produce for m.
-func EncodedSize(m Message) int {
+func EncodedSize(m Message) int { return m.EncodedSize() }
+
+// EncodedSize returns the exact number of bytes Encode will produce. The
+// pointer receiver matters on the simulator's per-send accounting path: a
+// value receiver would copy the whole struct per call. The directory loop
+// lives in a separate non-inlinable function so this common case (no
+// directory) stays inline at the call site.
+func (m *Message) EncodedSize() int {
 	n := headerSize + 2 + 8*len(m.Nodes) + 2 + 10*len(m.Entries) + 4 + len(m.Payload) + 2
-	for _, d := range m.Directory {
+	if len(m.Directory) != 0 {
+		n += directorySize(m.Directory)
+	}
+	return n
+}
+
+// directorySize returns the encoded size of the directory side table.
+func directorySize(dir []DirEntry) int {
+	n := 0
+	for _, d := range dir {
 		n += 10 + len(d.Addr)
 	}
 	return n

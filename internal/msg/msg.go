@@ -176,6 +176,14 @@ type Entry struct {
 // Message is the single wire-level message structure. Fields are used
 // depending on Type; unused fields stay at their zero values and encode
 // compactly.
+//
+// Ownership: Message is copied by value everywhere, and its slice fields are
+// shared between those copies under the copy-on-write discipline documented
+// on the peer package ("Message ownership"): a slice is frozen the moment the
+// message is handed to an environment's Send, per-hop mutation touches only
+// the scalar fields on a fresh struct copy, and whoever needs to modify a
+// list copies it first. Broadcast fan-out therefore shares one payload buffer
+// across every receiver instead of deep-copying per link.
 type Message struct {
 	Type Type
 
@@ -237,9 +245,10 @@ type DirEntry struct {
 	Addr string
 }
 
-// Clone returns a deep copy of m; the simulator hands the same Message to a
-// single receiver only, but protocols that re-forward mutate TTL/Hops and
-// must not alias slices owned by another node.
+// Clone returns a deep copy of m. No protocol hot path uses it — forwarding
+// shares slices copy-on-write (see the ownership rules on package peer) —
+// but callers that need a mutable or lifetime-independent copy (tests,
+// persistence) take one here.
 func (m Message) Clone() Message {
 	c := m
 	if m.Nodes != nil {

@@ -20,6 +20,34 @@ import (
 // paper relies on exactly this signal as its failure detector (§1 item iii).
 var ErrPeerDown = errors.New("peer: destination down")
 
+// Message ownership.
+//
+// msg.Message is a value type whose slice fields (Payload, Nodes, Entries,
+// Directory) are shared, never defensively copied, on the hot path. The
+// environments and every protocol in this repository observe one
+// copy-on-write discipline:
+//
+//   - A slice handed to Env.Send is frozen: neither the sender nor any
+//     receiver may mutate its contents afterwards, ever. The simulator hands
+//     the same backing arrays to every receiver of a fan-out (one payload
+//     buffer serves a whole broadcast); the TCP transport encodes from them
+//     concurrently with the caller's next steps.
+//   - Per-hop mutation happens on the value fields only (TTL, Hops, Sender):
+//     a forwarder copies the struct — `fwd := m; fwd.TTL--` — which shares
+//     the slices and rewrites the scalars. That is the write part of
+//     copy-on-write, and it is what keeps relaying allocation-free.
+//   - A receiver that needs to *change* a slice (integrate a shuffle list,
+//     build a reply) copies it first, into scratch it owns.
+//   - A receiver may retain a received slice beyond the handler return
+//     (Plumtree caches payloads for GRAFT retransmission) exactly because of
+//     the freeze rule: a frozen slice is safe to alias forever.
+//   - Delivery callbacks (gossip.Delivery) receive the shared payload and
+//     must treat it as read-only; applications that need a private copy make
+//     one.
+//
+// msg.Message.Clone remains available for the rare caller that needs a
+// deeply owned copy (tests, persistence), but no protocol hot path uses it.
+
 // Scheduler is the time contract every environment provides alongside message
 // delivery. Time is measured in ticks, an abstract unit each environment maps
 // onto its own clock: the simulator counts virtual ticks on its event heap
@@ -95,6 +123,18 @@ type FailureObserver interface {
 	OnPeerDown(peerID id.ID)
 }
 
+// RefSender is an optional Env extension for fan-out hot paths: Send with
+// the message passed by reference. Semantics are identical to Env.Send —
+// the callee copies what it keeps and never retains the pointer — but a
+// broadcast layer pushing one frozen message to k neighbors avoids k
+// by-value struct copies at the call boundary. Callers must treat *m as
+// frozen exactly as if it had been passed to Send. Environments whose Send
+// is dominated by I/O (the TCP transport) need not implement it; layers
+// probe for it once at construction and fall back to Send.
+type RefSender interface {
+	SendRef(dst id.ID, m *msg.Message) error
+}
+
 // Membership is the behaviour every membership protocol exposes to the
 // gossip broadcast layer and to the experiment harness.
 type Membership interface {
@@ -113,7 +153,10 @@ type Membership interface {
 	// GossipTargets returns the peers a broadcast should be forwarded to,
 	// excluding exclude (usually the hop the message arrived from). Flooding
 	// protocols return all neighbors; peer-sampling protocols return fanout
-	// random members.
+	// random members. The returned slice is owned by the membership instance
+	// and only valid until its next GossipTargets call: it is a reused
+	// scratch buffer on the per-delivery hot path, so callers iterate it
+	// immediately and never retain or mutate it.
 	GossipTargets(fanout int, exclude id.ID) []id.ID
 
 	// OnPeerDown informs the protocol that a send to peerID failed. This is
@@ -127,4 +170,19 @@ type Membership interface {
 type Process interface {
 	Deliver(from id.ID, m msg.Message)
 	OnCycle()
+}
+
+// NeighborVersioned is an optional Membership extension: a change counter
+// over the Neighbors set. The counter increments whenever the overlay
+// neighborhood changes (any addition or removal); it never decreases.
+//
+// Layers that mirror the neighborhood — Plumtree's eager/lazy partition —
+// poll the version on every delivery and resynchronize only when it moved,
+// turning an allocate-and-diff per event into a single integer compare in
+// steady state. Memberships that do not implement the interface are
+// resynchronized unconditionally, which is correct but pays the full diff on
+// every delivery. Wrapping layers (X-BOT) forward the inner protocol's
+// version.
+type NeighborVersioned interface {
+	NeighborVersion() uint64
 }

@@ -39,13 +39,25 @@ package plumtree
 
 import (
 	"errors"
-	"sort"
+	"slices"
 
 	"hyparview/internal/gossip"
 	"hyparview/internal/id"
+	"hyparview/internal/idset"
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
+	"hyparview/internal/roundcache"
 )
+
+// DefaultCacheWindow is the default capacity, in rounds, of the per-node
+// delivered-message cache (Config.CacheWindow). Like the gossip layer's seen
+// cache it is a fixed-capacity ring over the most recent round identifiers;
+// for Plumtree the entry additionally retains the (frozen, aliased) payload
+// so GRAFT repair requests can be answered. A round evicted by one more than
+// CacheWindow rounds newer loses its retransmission ability and its
+// duplicate detection, so the window must cover the rounds for which repair
+// can still be pending — in practice the rounds of one burst.
+const DefaultCacheWindow = 512
 
 // Config parameterizes a Plumtree node. Zero fields take defaults.
 type Config struct {
@@ -70,6 +82,10 @@ type Config struct {
 	// membership protocol's OnPeerDown. True when running over HyParView,
 	// whose broadcast doubles as its failure detector.
 	ReportPeerDown bool
+
+	// CacheWindow is the capacity, in rounds, of the delivered-message
+	// cache (see DefaultCacheWindow). Zero takes the default.
+	CacheWindow int
 }
 
 // WithDefaults fills unset fields with the defaults above.
@@ -80,11 +96,16 @@ func (c Config) WithDefaults() Config {
 	if c.OptimizeThreshold == 0 {
 		c.OptimizeThreshold = 3
 	}
+	if c.CacheWindow <= 0 {
+		c.CacheWindow = DefaultCacheWindow
+	}
 	return c
 }
 
 // cached is the per-delivered-round state: the payload is kept for GRAFT
-// retransmissions, hops and parent feed the optimization rule.
+// retransmissions, hops and parent feed the optimization rule. The payload
+// slice aliases the received message's frozen buffer (see the ownership
+// rules on package peer) — retaining it costs nothing and copies nothing.
 type cached struct {
 	payload []byte
 	hops    uint16 // hop count at which this node delivered
@@ -97,11 +118,21 @@ type source struct {
 	hops uint16
 }
 
-// missing tracks a round known only through announcements.
+// missing tracks a round known only through announcements. Entries live in a
+// fixed-capacity round cache and hold their announcers in a fixed inline
+// array, so the repair bookkeeping allocates nothing however many rounds
+// churn through it. maxSources bounds the graft fall-back chain; announcers
+// beyond it are dropped, which costs at most repair attempts (a later IHAVE
+// re-announces), never correctness.
 type missing struct {
-	sources []source // announcers in arrival order; grafts try them in turn
-	timer   bool     // a timer message is in flight for this round
+	sources [maxSources]source // announcers in arrival order; grafts try them in turn
+	nsrc    uint8              // live prefix of sources
+	timer   bool               // a timer message is in flight for this round
 }
+
+// maxSources is the per-round announcer bound: lazy degree rarely exceeds
+// the active-view size (5 in the paper's configurations).
+const maxSources = 8
 
 // ControlStats counts Plumtree's control-plane activity.
 type ControlStats struct {
@@ -121,10 +152,40 @@ type Node struct {
 	cfg        Config
 	onDeliver  gossip.Delivery
 
-	eager map[id.ID]struct{}
-	lazy  map[id.ID]struct{}
-	seen  map[uint64]*cached
-	miss  map[uint64]*missing
+	// versioned gates reconcile: when the membership exposes a neighborhood
+	// change counter (peer.NeighborVersioned), the per-delivery resync
+	// collapses to one integer compare until the overlay actually changes.
+	versioned peer.NeighborVersioned
+	lastVer   uint64
+	synced    bool
+
+	// sendRef is env's optional by-reference send fast path (peer.RefSender);
+	// nil means fall back to env.Send.
+	sendRef func(dst id.ID, m *msg.Message) error
+
+	// msgScratch stages outgoing messages on the (heap-allocated) node so
+	// the by-reference send path never makes a stack-local message escape —
+	// that would cost one allocation per send.
+	msgScratch msg.Message
+
+	// lastRound/hasLast fast-path duplicate detection for the round
+	// delivered most recently (see the equivalent fields on gossip.Node):
+	// the redundant eager pushes that drive PRUNE demotions resolve without
+	// touching the seen cache.
+	lastRound uint64
+	hasLast   bool
+
+	eager idset.Set
+	lazy  idset.Set
+	seen  roundcache.Cache[cached]
+	miss  roundcache.Cache[missing]
+
+	// Reused scratch buffers for the allocation-free hot paths; their
+	// contents are dead between calls (see the ownership rules on package
+	// peer: messages are sent with frozen slices, never aliasing these).
+	peerScratch  []id.ID
+	nbrScratch   []id.ID
+	roundScratch []uint64
 
 	// Payload accounting shared with the flood layer (gossip.Broadcaster).
 	delivered  uint64
@@ -139,16 +200,21 @@ var _ gossip.Broadcaster = (*Node)(nil)
 
 // New builds a Plumtree node over membership. onDeliver may be nil.
 func New(env peer.Env, membership peer.Membership, cfg Config, onDeliver gossip.Delivery) *Node {
-	return &Node{
+	cfg = cfg.WithDefaults()
+	versioned, _ := membership.(peer.NeighborVersioned)
+	n := &Node{
 		env:        env,
 		membership: membership,
-		cfg:        cfg.WithDefaults(),
+		cfg:        cfg,
 		onDeliver:  onDeliver,
-		eager:      make(map[id.ID]struct{}),
-		lazy:       make(map[id.ID]struct{}),
-		seen:       make(map[uint64]*cached),
-		miss:       make(map[uint64]*missing),
+		versioned:  versioned,
 	}
+	if rs, ok := env.(peer.RefSender); ok {
+		n.sendRef = rs.SendRef
+	}
+	n.seen.Init(cfg.CacheWindow)
+	n.miss.Init(cfg.CacheWindow)
+	return n
 }
 
 // Membership returns the wrapped membership protocol.
@@ -201,20 +267,21 @@ func (n *Node) OnCycle() {
 func (n *Node) periodic() {
 	n.reconcile()
 	// Sorted iteration keeps the event trace deterministic under a seed.
-	rounds := make([]uint64, 0, len(n.miss))
-	for round := range n.miss {
+	rounds := n.roundScratch[:0]
+	n.miss.ForEach(func(round uint64, _ *missing) {
 		rounds = append(rounds, round)
-	}
-	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	})
+	slices.Sort(rounds)
+	n.roundScratch = rounds
 	for _, round := range rounds {
-		ms := n.miss[round]
-		if ms.timer {
+		ms := n.miss.Get(round)
+		if ms == nil || ms.timer {
 			continue
 		}
-		if len(ms.sources) == 0 {
+		if ms.nsrc == 0 {
 			// Every announcer was tried and failed; forget the round until
 			// someone announces it again.
-			delete(n.miss, round)
+			n.miss.Remove(round)
 			continue
 		}
 		n.startTimer(round, 0) // graft behind everything already in flight
@@ -224,11 +291,13 @@ func (n *Node) periodic() {
 // Broadcast emits a new message from this node: payload to eager peers,
 // announcement to lazy peers.
 func (n *Node) Broadcast(round uint64, payload []byte) {
-	if _, dup := n.seen[round]; dup {
+	if n.seen.Get(round) != nil {
 		return
 	}
 	n.reconcile()
-	n.seen[round] = &cached{payload: payload, hops: 0, parent: id.Nil}
+	c, _ := n.seen.Put(round)
+	*c = cached{payload: payload, hops: 0, parent: id.Nil}
+	n.lastRound, n.hasLast = round, true
 	n.delivered++
 	if n.onDeliver != nil {
 		n.onDeliver(round, payload, 0)
@@ -239,7 +308,7 @@ func (n *Node) Broadcast(round uint64, payload []byte) {
 // onGossip handles an eager payload push.
 func (n *Node) onGossip(from id.ID, m msg.Message) {
 	n.reconcile()
-	if _, dup := n.seen[m.Round]; dup {
+	if (n.hasLast && m.Round == n.lastRound) || n.seen.Get(m.Round) != nil {
 		// Redundant copy: this link is not part of the tree. Demote it and
 		// tell the sender to stop eager-pushing to us (paper §4.2).
 		n.duplicates++
@@ -250,9 +319,11 @@ func (n *Node) onGossip(from id.ID, m msg.Message) {
 		return
 	}
 	hops := m.Hops + 1
-	n.seen[m.Round] = &cached{payload: m.Payload, hops: hops, parent: from}
+	c, _ := n.seen.Put(m.Round)
+	*c = cached{payload: m.Payload, hops: hops, parent: from}
+	n.lastRound, n.hasLast = m.Round, true
 	n.delivered++
-	delete(n.miss, m.Round) // any in-flight timer finds the round delivered
+	n.miss.Remove(m.Round) // any in-flight timer finds the round delivered
 	if n.onDeliver != nil {
 		n.onDeliver(m.Round, m.Payload, int(hops))
 	}
@@ -263,16 +334,20 @@ func (n *Node) onGossip(from id.ID, m msg.Message) {
 // onIHave handles a lazy announcement from a peer.
 func (n *Node) onIHave(from id.ID, m msg.Message) {
 	n.reconcile()
-	if c, ok := n.seen[m.Round]; ok {
+	if c := n.seen.Get(m.Round); c != nil {
 		n.maybeOptimize(from, m.Hops, c)
 		return
 	}
-	ms := n.miss[m.Round]
-	if ms == nil {
-		ms = &missing{}
-		n.miss[m.Round] = ms
+	ms, existed := n.miss.Put(m.Round)
+	if !existed {
+		// Fresh (or recycled) entry: reset the live fields.
+		ms.nsrc = 0
+		ms.timer = false
 	}
-	ms.sources = append(ms.sources, source{peer: from, hops: m.Hops})
+	if int(ms.nsrc) < len(ms.sources) {
+		ms.sources[ms.nsrc] = source{peer: from, hops: m.Hops}
+		ms.nsrc++
+	}
 	if !ms.timer {
 		n.startTimer(m.Round, n.cfg.TimerDelay)
 	}
@@ -282,19 +357,23 @@ func (n *Node) onIHave(from id.ID, m msg.Message) {
 // path would have delivered the message at least OptimizeThreshold hops
 // earlier than the eager path did, swap the links.
 func (n *Node) maybeOptimize(from id.ID, announcedHops uint16, c *cached) {
-	if _, isEager := n.eager[from]; isEager {
+	if n.eager.Contains(from) {
 		return
 	}
 	if int(announcedHops)+1+n.cfg.OptimizeThreshold > int(c.hops) {
 		return
 	}
+	// c points into the seen cache; copy the parent out before sending (a
+	// send cannot evict cache entries today, but the pointer's validity
+	// window is documented as "until the next insert").
+	parent := c.parent
 	n.promote(from)
 	// Accept=false: graft the link without requesting a retransmission.
 	if n.sendTo(from, msg.Message{Type: msg.PlumtreeGraft, Sender: n.env.Self(), Accept: false}) {
 		n.control.Optimizes++
 	}
-	if parent := c.parent; !parent.IsNil() && parent != from {
-		if _, ok := n.eager[parent]; ok {
+	if !parent.IsNil() && parent != from {
+		if n.eager.Contains(parent) {
 			n.demote(parent)
 			if n.sendTo(parent, msg.Message{Type: msg.PlumtreePrune, Sender: n.env.Self()}) {
 				n.control.PrunesSent++
@@ -313,7 +392,7 @@ func (n *Node) onGraft(from id.ID, m msg.Message) {
 	if !m.Accept {
 		return
 	}
-	if c, ok := n.seen[m.Round]; ok {
+	if c := n.seen.Get(m.Round); c != nil {
 		if n.sendTo(from, msg.Message{
 			Type:    msg.PlumtreeGossip,
 			Sender:  n.env.Self(),
@@ -335,7 +414,7 @@ func (n *Node) onPrune(from id.ID) {
 // onTimer handles a missing-message timer firing (a scheduler-delivered
 // self-addressed IHAVE).
 func (n *Node) onTimer(m msg.Message) {
-	ms := n.miss[m.Round]
+	ms := n.miss.Get(m.Round)
 	if ms == nil {
 		return // delivered (or forgotten) while the timer was in flight
 	}
@@ -347,9 +426,10 @@ func (n *Node) onTimer(m msg.Message) {
 // before answering falls through to the next announcer.
 func (n *Node) timerExpired(round uint64, ms *missing) {
 	ms.timer = false
-	for len(ms.sources) > 0 {
-		s := ms.sources[0]
-		ms.sources = ms.sources[1:]
+	consumed := 0
+	for consumed < int(ms.nsrc) {
+		s := ms.sources[consumed]
+		consumed++
 		n.promote(s.peer)
 		if n.sendTo(s.peer, msg.Message{
 			Type:   msg.PlumtreeGraft,
@@ -362,7 +442,9 @@ func (n *Node) timerExpired(round uint64, ms *missing) {
 			break
 		}
 	}
-	if len(ms.sources) > 0 {
+	// Shift the unconsumed announcers down in place.
+	ms.nsrc = uint8(copy(ms.sources[:], ms.sources[consumed:ms.nsrc]))
+	if ms.nsrc > 0 {
 		n.startTimer(round, n.cfg.TimerDelay)
 	}
 	// Otherwise the entry stays with no timer armed: a future IHAVE re-arms
@@ -373,7 +455,7 @@ func (n *Node) timerExpired(round uint64, ms *missing) {
 // IHAVE delivered by the environment's scheduler after delay ticks, behind
 // everything already in flight.
 func (n *Node) startTimer(round uint64, delay uint64) {
-	ms := n.miss[round]
+	ms := n.miss.Get(round)
 	if ms == nil {
 		return
 	}
@@ -386,27 +468,35 @@ func (n *Node) startTimer(round uint64, delay uint64) {
 }
 
 // push sends the payload to every eager peer and the announcement to every
-// lazy peer, excluding the link the message arrived on.
+// lazy peer, excluding the link the message arrived on. The peer sets are
+// iterated through a reused scratch snapshot (a failed send removes the peer
+// from the live set mid-loop), in ascending ID order so the simulator's
+// event trace stays deterministic; the payload slice is shared by every
+// outgoing copy (copy-on-write fan-out, see package peer).
 func (n *Node) push(round uint64, payload []byte, hops uint16, skip id.ID) {
 	self := n.env.Self()
-	for _, p := range sortedPeers(n.eager, skip) {
-		if n.sendTo(p, msg.Message{
-			Type:    msg.PlumtreeGossip,
-			Sender:  self,
-			Round:   round,
-			Hops:    hops,
-			Payload: payload,
-		}) {
+	n.msgScratch = msg.Message{
+		Type:    msg.PlumtreeGossip,
+		Sender:  self,
+		Round:   round,
+		Hops:    hops,
+		Payload: payload,
+	}
+	n.peerScratch = n.eager.AppendTo(n.peerScratch[:0], skip)
+	for _, p := range n.peerScratch {
+		if n.sendRefTo(p, &n.msgScratch) {
 			n.forwarded++
 		}
 	}
-	for _, p := range sortedPeers(n.lazy, skip) {
-		if n.sendTo(p, msg.Message{
-			Type:   msg.PlumtreeIHave,
-			Sender: self,
-			Round:  round,
-			Hops:   hops,
-		}) {
+	n.msgScratch = msg.Message{
+		Type:   msg.PlumtreeIHave,
+		Sender: self,
+		Round:  round,
+		Hops:   hops,
+	}
+	n.peerScratch = n.lazy.AppendTo(n.peerScratch[:0], skip)
+	for _, p := range n.peerScratch {
+		if n.sendRefTo(p, &n.msgScratch) {
 			n.control.IHavesSent++
 		}
 	}
@@ -417,11 +507,24 @@ func (n *Node) push(round uint64, payload []byte, hops uint16, skip id.ID) {
 // configured, is reported to the membership protocol. Other send errors
 // (queue-overflow degradation) lose the message without indicting the link.
 func (n *Node) sendTo(dst id.ID, m msg.Message) bool {
-	if err := n.env.Send(dst, m); err != nil {
+	n.msgScratch = m
+	return n.sendRefTo(dst, &n.msgScratch)
+}
+
+// sendRefTo is sendTo through the environment's by-reference fast path when
+// one is available (peer.RefSender); *m is frozen under either path.
+func (n *Node) sendRefTo(dst id.ID, m *msg.Message) bool {
+	var err error
+	if n.sendRef != nil {
+		err = n.sendRef(dst, m)
+	} else {
+		err = n.env.Send(dst, *m)
+	}
+	if err != nil {
 		n.sendFails++
 		if errors.Is(err, peer.ErrPeerDown) {
-			delete(n.eager, dst)
-			delete(n.lazy, dst)
+			n.eager.Remove(dst)
+			n.lazy.Remove(dst)
 			if n.cfg.ReportPeerDown {
 				n.membership.OnPeerDown(dst)
 			}
@@ -435,32 +538,29 @@ func (n *Node) sendTo(dst id.ID, m msg.Message) bool {
 // protocol's current neighborhood: new overlay neighbors start eager (their
 // first redundant push gets pruned), departed neighbors are dropped. This
 // keeps Plumtree correct over any peer.Membership without requiring
-// neighbor-change callbacks.
+// neighbor-change callbacks. When the membership exposes a neighborhood
+// version (peer.NeighborVersioned), the resync is skipped entirely while the
+// version is unchanged — the steady-state delivery path pays one integer
+// compare instead of a set diff.
 func (n *Node) reconcile() {
-	neighbors := n.membership.Neighbors()
-	current := make(map[id.ID]struct{}, len(neighbors))
-	for _, p := range neighbors {
-		if p == n.env.Self() {
-			continue
+	if n.versioned != nil {
+		v := n.versioned.NeighborVersion()
+		if n.synced && v == n.lastVer {
+			return
 		}
-		current[p] = struct{}{}
-		if _, ok := n.eager[p]; ok {
-			continue
-		}
-		if _, ok := n.lazy[p]; ok {
-			continue
-		}
-		n.eager[p] = struct{}{}
+		n.lastVer = v
+		n.synced = true
 	}
-	for p := range n.eager {
-		if _, ok := current[p]; !ok {
-			delete(n.eager, p)
+	self := n.env.Self()
+	n.nbrScratch = append(n.nbrScratch[:0], n.membership.Neighbors()...)
+	slices.Sort(n.nbrScratch)
+	n.eager.RetainSorted(n.nbrScratch)
+	n.lazy.RetainSorted(n.nbrScratch)
+	for _, p := range n.nbrScratch {
+		if p == self || n.eager.Contains(p) || n.lazy.Contains(p) {
+			continue
 		}
-	}
-	for p := range n.lazy {
-		if _, ok := current[p]; !ok {
-			delete(n.lazy, p)
-		}
+		n.eager.Add(p)
 	}
 }
 
@@ -469,8 +569,16 @@ func (n *Node) promote(p id.ID) {
 	if p.IsNil() || p == n.env.Self() {
 		return
 	}
-	delete(n.lazy, p)
-	n.eager[p] = struct{}{}
+	wasLazy := n.lazy.Remove(p)
+	if n.eager.Add(p) && !wasLazy {
+		// p was tracked in neither set: either a brand-new neighbor (the
+		// next resync retains it) or a non-neighbor whose in-flight traffic
+		// raced its removal. The membership version cannot see this local
+		// insertion, so force the next reconcile to resync — otherwise the
+		// version gate would keep a phantom eager edge to a non-neighbor
+		// alive until some unrelated neighborhood change.
+		n.synced = false
+	}
 }
 
 // demote moves p to the lazy set.
@@ -478,17 +586,16 @@ func (n *Node) demote(p id.ID) {
 	if p.IsNil() {
 		return
 	}
-	if _, ok := n.eager[p]; ok {
-		delete(n.eager, p)
-		n.lazy[p] = struct{}{}
+	if n.eager.Remove(p) {
+		n.lazy.Add(p)
 	}
 }
 
 // EagerPeers returns the current eager set, sorted (tests, metrics).
-func (n *Node) EagerPeers() []id.ID { return sortedPeers(n.eager, id.Nil) }
+func (n *Node) EagerPeers() []id.ID { return n.eager.Members() }
 
 // LazyPeers returns the current lazy set, sorted (tests, metrics).
-func (n *Node) LazyPeers() []id.ID { return sortedPeers(n.lazy, id.Nil) }
+func (n *Node) LazyPeers() []id.ID { return n.lazy.Members() }
 
 // Counters implements gossip.Broadcaster: payload accounting compatible
 // with the flood layer's, feeding the shared RMR computation.
@@ -499,41 +606,24 @@ func (n *Node) Counters() (delivered, duplicates, forwarded, sendFails uint64) {
 // Control returns the control-plane counters.
 func (n *Node) Control() ControlStats { return n.control }
 
-// Seen reports whether the node has delivered round.
+// Seen reports whether the node has delivered round within the cache window.
 func (n *Node) Seen(round uint64) bool {
-	_, ok := n.seen[round]
-	return ok
+	return n.seen.Get(round) != nil
 }
 
-// ResetSeen clears the delivered-message cache and the missing-round state;
-// experiments spanning many thousands of rounds use this to bound memory.
+// ResetSeen clears the delivered-message cache and the missing-round state in
+// place; the fixed-capacity caches keep (and recycle) their memory.
 func (n *Node) ResetSeen() {
-	n.seen = make(map[uint64]*cached)
-	n.miss = make(map[uint64]*missing)
+	n.hasLast = false
+	n.seen.Reset()
+	n.miss.Reset()
 }
 
 // OnPeerDown implements peer.FailureObserver: a connection-level failure
 // removes the peer from both sets and is forwarded to the membership
 // protocol (which for HyParView triggers reactive view repair).
 func (n *Node) OnPeerDown(peerID id.ID) {
-	delete(n.eager, peerID)
-	delete(n.lazy, peerID)
+	n.eager.Remove(peerID)
+	n.lazy.Remove(peerID)
 	n.membership.OnPeerDown(peerID)
-}
-
-// sortedPeers returns the members of set except skip, in ascending ID order
-// so that send order — and therefore the simulator's event trace — is
-// deterministic.
-func sortedPeers(set map[id.ID]struct{}, skip id.ID) []id.ID {
-	if len(set) == 0 {
-		return nil
-	}
-	out := make([]id.ID, 0, len(set))
-	for p := range set {
-		if p != skip {
-			out = append(out, p)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

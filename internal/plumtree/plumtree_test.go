@@ -450,8 +450,8 @@ func TestOnCycleRearmsStalledRepair(t *testing.T) {
 	env.sent = nil
 	n.OnCycle()
 	n.OnCycle()
-	if len(n.miss) != 0 {
-		t.Errorf("missing entries leaked: %d", len(n.miss))
+	if n.miss.Len() != 0 {
+		t.Errorf("missing entries leaked: %d", n.miss.Len())
 	}
 }
 

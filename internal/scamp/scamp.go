@@ -125,6 +125,10 @@ type Node struct {
 	leaseOffset int
 	lastHeard   int // cycle at which we last received a heartbeat
 
+	// gossipScratch backs GossipTargets' reused result buffer (see the
+	// peer.Membership contract).
+	gossipScratch []id.ID
+
 	stats Stats
 }
 
@@ -207,12 +211,15 @@ func (n *Node) InView() []id.ID { return n.inView.Members() }
 func (n *Node) Neighbors() []id.ID { return n.partial.Members() }
 
 // GossipTargets implements peer.Membership: fanout random PartialView
-// members, excluding exclude.
+// members, excluding exclude. The result is a reused scratch buffer, valid
+// until the next call (peer.Membership contract). The in-place filter below
+// is why the sample lands in scratch rather than a frozen message slice.
 func (n *Node) GossipTargets(fanout int, exclude id.ID) []id.ID {
 	if fanout <= 0 || n.partial.Empty() {
 		return nil
 	}
-	sample := n.partial.Sample(n.env.Rand(), fanout+1)
+	sample := n.partial.SampleInto(n.env.Rand(), fanout+1, n.gossipScratch[:0])
+	n.gossipScratch = sample
 	out := sample[:0]
 	for _, m := range sample {
 		if m != exclude {

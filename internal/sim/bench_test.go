@@ -1,0 +1,54 @@
+package sim
+
+// Full-stack cluster benchmarks: the companion to internal/netsim's
+// BenchmarkEngine pair. Where the engine benchmarks isolate heap push/pop and
+// dispatch with a protocol-free forwarding ring, these run the complete
+// HyParView + broadcast stack — membership views, gossip dedup caches, the
+// delivery tracker — so the gap between raw engine throughput and protocol
+// throughput is measured, tracked in BENCH_sim.json, and cannot silently
+// regress. One iteration is one broadcast delivered to the whole live
+// population plus all reactive protocol traffic it triggers; the benchmark
+// reports protocol events/sec (simulator deliveries, the same unit as
+// BenchmarkEngine) and the steady-state allocations per full-cluster
+// broadcast. Run with:
+//
+//	go test ./internal/sim/ -run '^$' -bench BenchmarkCluster -benchtime 20x
+
+import (
+	"runtime"
+	"testing"
+)
+
+func benchCluster(b *testing.B, n int) {
+	c := NewCluster(HyParView, Options{N: n, Seed: 1})
+	c.Stabilize(2)
+	// Warm one broadcast so lazily-grown state (tracker slots, per-node seen
+	// caches) reaches steady state before measurement.
+	if rel := c.Broadcast(); rel != 1.0 {
+		b.Fatalf("warm-up broadcast reliability = %v, want 1.0", rel)
+	}
+	// The build phase allocates heavily; collect before measuring so a GC
+	// cycle triggered by construction garbage does not land inside the
+	// (allocation-free) measured loop.
+	runtime.GC()
+	d0 := c.Sim.Stats().Delivered
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rel := c.Broadcast(); rel != 1.0 {
+			b.Fatalf("broadcast %d reliability = %v, want 1.0", i, rel)
+		}
+	}
+	b.StopTimer()
+	events := float64(c.Sim.Stats().Delivered - d0)
+	b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+}
+
+func BenchmarkCluster10k(b *testing.B) { benchCluster(b, 10_000) }
+
+func BenchmarkCluster100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-node full-stack benchmark skipped in -short mode")
+	}
+	benchCluster(b, 100_000)
+}

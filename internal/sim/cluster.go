@@ -445,16 +445,19 @@ func (c *Cluster) FailFraction(frac float64) int {
 // statistics and — in latency mode — the virtual-time latency of the last
 // and average delivery.
 func (c *Cluster) broadcastMeasured() (rel float64, maxHops int, avgHops, maxLat, avgLat float64, lats []float64) {
-	alive := c.Sim.AliveIDs()
-	if len(alive) == 0 {
+	// RandomAlive + AliveCount keep the per-broadcast harness overhead
+	// allocation-free; at 100k nodes the old AliveIDs snapshot was an 800KB
+	// copy per message.
+	source, ok := c.Sim.RandomAlive(c.Sim.Rand())
+	if !ok {
 		return 0, 0, 0, 0, 0, nil
 	}
-	source := alive[c.Sim.Rand().Intn(len(alive))]
+	alive := c.Sim.AliveCount()
 	round := c.Tracker.NextRound()
 	c.beginRound(round)
 	c.gossipers[source].Broadcast(round, nil)
 	c.Sim.Drain()
-	rel = c.Tracker.Reliability(round, len(alive))
+	rel = c.Tracker.Reliability(round, alive)
 	maxHops = c.Tracker.MaxHops(round)
 	avgHops = c.Tracker.AvgHops(round)
 	c.Tracker.Forget(round)

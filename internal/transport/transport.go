@@ -137,6 +137,18 @@ func (t *Transport) Register(addr string) id.ID {
 // Book exposes the address book (shared with the hosting agent).
 func (t *Transport) Book() *id.Book { return t.book }
 
+// sendScratch is the per-send working memory — the frame being encoded and
+// the directory side table — recycled through sendPool so the steady-state
+// send path allocates nothing. The buffers are dead the moment Send returns
+// (the frame bytes are on the wire, the directory was copied into the frame
+// by the encoder), which is exactly the lifetime a pool wants.
+type sendScratch struct {
+	frame []byte
+	dir   []msg.DirEntry
+}
+
+var sendPool = sync.Pool{New: func() any { return &sendScratch{} }}
+
 // Send delivers m to dst over a cached or freshly dialed connection. A
 // failure to dial or write is reported as peer.ErrPeerDown after the cached
 // connection is discarded.
@@ -145,9 +157,13 @@ func (t *Transport) Send(dst id.ID, m msg.Message) error {
 	if err != nil {
 		return err
 	}
-	m.Directory = t.directoryFor(m)
-	frame := make([]byte, lenHeaderSize, lenHeaderSize+msg.EncodedSize(m))
+	sc := sendPool.Get().(*sendScratch)
+	defer sendPool.Put(sc)
+	sc.dir = t.appendDirectory(sc.dir[:0], m)
+	m.Directory = sc.dir
+	frame := append(sc.frame[:0], make([]byte, lenHeaderSize)...)
 	frame = msg.AppendEncode(frame, m)
+	sc.frame = frame
 	binary.BigEndian.PutUint32(frame[:lenHeaderSize], uint32(len(frame)-lenHeaderSize))
 
 	oc.wm.Lock()
@@ -218,24 +234,36 @@ func (t *Transport) Unwatch(dst id.ID) {
 	delete(t.watched, dst)
 }
 
-// directoryFor builds the (id, addr) side table for every identifier m
-// references, so receivers can dial nodes they just learned about. The
-// paper's identifiers are (ip, port) tuples; this reconstructs that property
-// over our compact IDs.
-func (t *Transport) directoryFor(m msg.Message) []msg.DirEntry {
-	refs := m.ReferencedIDs()
-	dir := make([]msg.DirEntry, 0, len(refs))
-	seen := make(map[id.ID]bool, len(refs))
-	for _, n := range refs {
-		if seen[n] {
-			continue
+// appendDirectory appends the (id, addr) side table for every identifier m
+// references to dst (a reused scratch buffer), so receivers can dial nodes
+// they just learned about. The paper's identifiers are (ip, port) tuples;
+// this reconstructs that property over our compact IDs. Deduplication is a
+// linear scan over the entries built so far: messages reference a handful of
+// identifiers, and the scan keeps the hot send path free of the map and
+// intermediate slice the old ReferencedIDs-based assembly allocated.
+func (t *Transport) appendDirectory(dst []msg.DirEntry, m msg.Message) []msg.DirEntry {
+	add := func(n id.ID) {
+		if n.IsNil() {
+			return
 		}
-		seen[n] = true
+		for _, d := range dst {
+			if d.Node == n {
+				return
+			}
+		}
 		if addr, ok := t.book.Addr(n); ok {
-			dir = append(dir, msg.DirEntry{Node: n, Addr: addr})
+			dst = append(dst, msg.DirEntry{Node: n, Addr: addr})
 		}
 	}
-	return dir
+	add(m.Sender)
+	add(m.Subject)
+	for _, n := range m.Nodes {
+		add(n)
+	}
+	for _, e := range m.Entries {
+		add(e.Node)
+	}
+	return dst
 }
 
 // conn returns a cached connection to dst, dialing on demand.
@@ -337,9 +365,13 @@ func (t *Transport) acceptLoop() {
 }
 
 // readLoop decodes frames from c and dispatches them until the connection
-// errors or the transport closes.
+// errors or the transport closes. The frame buffer is reused across frames:
+// msg.Decode copies every variable-length field into fresh memory (nothing
+// the protocol retains aliases the buffer), so one buffer per connection
+// amortizes to zero allocations per received frame.
 func (t *Transport) readLoop(c net.Conn) {
 	var lenBuf [lenHeaderSize]byte
+	var buf []byte
 	for {
 		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
 			return
@@ -348,7 +380,10 @@ func (t *Transport) readLoop(c net.Conn) {
 		if n == 0 || n > maxFrame {
 			return
 		}
-		buf := make([]byte, n)
+		if uint32(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
 		if _, err := io.ReadFull(c, buf); err != nil {
 			return
 		}

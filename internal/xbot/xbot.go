@@ -233,8 +233,9 @@ type Node struct {
 	// that have since left the active view are pruned lazily.
 	biased map[id.ID]bool
 
-	cycles int
-	stats  Stats
+	cycles      int
+	fallbackVer uint64 // synthetic NeighborVersion for unversioned inners
+	stats       Stats
 }
 
 var _ peer.Membership = (*Node)(nil)
@@ -287,7 +288,23 @@ func (n *Node) Join(contact id.ID) error {
 // Neighbors implements peer.Membership.
 func (n *Node) Neighbors() []id.ID { return n.inner.Neighbors() }
 
-// GossipTargets implements peer.Membership.
+// NeighborVersion implements peer.NeighborVersioned by forwarding the
+// wrapped protocol's change counter: X-BOT rewires the inner active view but
+// never maintains a neighborhood of its own. When the inner protocol carries
+// no version, every call reports a fresh value so upper layers fall back to
+// resynchronizing unconditionally — a constant would wrongly signal "never
+// changed".
+func (n *Node) NeighborVersion() uint64 {
+	if v, ok := n.inner.(peer.NeighborVersioned); ok {
+		return v.NeighborVersion()
+	}
+	n.fallbackVer++
+	return n.fallbackVer
+}
+
+// GossipTargets implements peer.Membership. The result follows the
+// interface's scratch-buffer contract (owned by the inner membership, valid
+// until its next GossipTargets call).
 func (n *Node) GossipTargets(fanout int, exclude id.ID) []id.ID {
 	return n.inner.GossipTargets(fanout, exclude)
 }

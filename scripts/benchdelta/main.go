@@ -1,0 +1,92 @@
+// Command benchdelta compares `go test -bench` output against the committed
+// BENCH_sim.json baselines and emits a benchstat-style delta table. It is
+// warn-only by design: regressions print GitHub Actions ::warning::
+// annotations and the exit status is always 0, because the CI runners'
+// wall-clock noise (shared vCPUs) makes a hard gate flaky — the committed
+// baselines move only when a PR deliberately re-records them.
+//
+// Usage:
+//
+//	go run ./scripts/benchdelta -baseline BENCH_sim.json bench-sim.txt bench-cluster.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches one benchmark result line with an events/sec metric,
+// e.g. "BenchmarkCluster100k  20  377255566 ns/op  1050251 events/sec ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+\S+\s+ns/op\s+(\S+)\s+events/sec`)
+
+// baseline is the subset of BENCH_sim.json this tool consumes.
+type baseline struct {
+	Datapoints []struct {
+		Name         string  `json:"name"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"datapoints"`
+}
+
+// warnBelow is the fraction of the committed baseline a measurement may drop
+// to before a warning is emitted; generous because CI machines are noisy.
+const warnBelow = 0.70
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_sim.json", "committed baseline JSON")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Printf("::warning::benchdelta: %v (skipping comparison)\n", err)
+		return
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Printf("::warning::benchdelta: parse %s: %v\n", *baselinePath, err)
+		return
+	}
+	ref := map[string]float64{}
+	for _, d := range base.Datapoints {
+		if d.EventsPerSec > 0 {
+			ref[d.Name] = d.EventsPerSec
+		}
+	}
+
+	fmt.Printf("%-28s %14s %14s %8s\n", "benchmark", "baseline", "this run", "delta")
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Printf("::warning::benchdelta: %v\n", err)
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			m := benchLine.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			name := m[1]
+			got, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			want, ok := ref[name]
+			if !ok {
+				fmt.Printf("%-28s %14s %14.0f %8s\n", name, "(none)", got, "-")
+				continue
+			}
+			delta := (got - want) / want * 100
+			fmt.Printf("%-28s %14.0f %14.0f %+7.1f%%\n", name, want, got, delta)
+			if got < want*warnBelow {
+				fmt.Printf("::warning::%s: %.0f events/sec is %.0f%% below the committed baseline %.0f (threshold %.0f%%)\n",
+					name, got, -delta, want, (1-warnBelow)*100)
+			}
+		}
+		f.Close()
+	}
+}
