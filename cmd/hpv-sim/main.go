@@ -11,7 +11,11 @@
 // series), fig4 (healing time in cycles), table1 (graph properties), fig5
 // (in-degree distribution), plumtree (flood vs epidemic broadcast trees;
 // also part of -exp extensions), xbot (oblivious vs X-BOT-optimized overlay
-// under a latency model), all. The -broadcast=plumtree flag switches any
+// under a latency model), adversarial (the fault-injection scenario suite:
+// mass failure, churn, partitions healing mid-broadcast, per-link
+// loss/reorder, Byzantine-lite tampering and replay, each checked against a
+// reliability envelope; a violated envelope exits non-zero), all.
+// -experiment is accepted as an alias for -exp. The -broadcast=plumtree flag switches any
 // experiment's broadcast layer from flood/fanout gossip to Plumtree;
 // -latency=<model> runs any experiment in event-driven virtual time
 // (uniform, euclidean or transit link latencies); -optimize=xbot runs the
@@ -49,7 +53,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hpv-sim", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|plumtree|xbot|all")
+		exp        = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|plumtree|xbot|adversarial|all")
+		expAlias   = fs.String("experiment", "", "alias for -exp")
 		n          = fs.Int("n", 10000, "cluster size (paper: 10000)")
 		seed       = fs.Uint64("seed", 1, "base random seed")
 		msgs       = fs.Int("msgs", 1000, "messages per burst for fig2 (paper: 1000)")
@@ -70,6 +75,9 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *expAlias != "" {
+		*exp = *expAlias
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -200,6 +208,17 @@ func run(args []string, out io.Writer) error {
 			// Extension: 30/70 network cut for 3 cycles, then heal.
 			_, t := sim.PartitionHeal(opts, 0.3, 3, 10)
 			emit(t)
+		case "adversarial":
+			// Fault-injection scenario suite: the paper's 80%-failure headline
+			// plus churn, partition, loss/reorder, Byzantine-lite tampering and
+			// replay, each run against its reliability envelope. A scenario
+			// outside its envelope fails the run — this is the CI regression
+			// gate for the bugs the injection hooks surfaced.
+			points, t := sim.Adversarial(opts, *msgs)
+			emit(t)
+			if !sim.AdversarialOK(points) {
+				return fmt.Errorf("adversarial envelope violated (see table)")
+			}
 		case "xbot":
 			// Oblivious vs X-BOT-optimized overlay under a latency model
 			// (Euclidean unless -latency selects another): link cost,

@@ -26,6 +26,11 @@ type Stats struct {
 	PassiveEvictions   uint64 // failed probes purging passive entries
 	ActiveDemotions    uint64 // live members moved active -> passive
 	IsolationRecovered uint64 // promotions that refilled an empty active view
+
+	// Hardening counters: hostile or malformed shuffle traffic rejected at
+	// the handler boundary (see sanitizePeerList, handleShuffleReply).
+	ShuffleEntriesRejected    uint64 // self/nil/duplicate/overflow entries dropped
+	UnsolicitedShuffleReplies uint64 // SHUFFLEREPLYs with no shuffle outstanding
 }
 
 // Node is one HyParView protocol instance. It is not safe for concurrent
@@ -67,6 +72,7 @@ type Node struct {
 	gossipScratch []id.ID // GossipTargets result (owned, valid until next call)
 	sentScratch   []id.ID // integrateShuffle's consumable sent-list copy
 	pickScratch   []id.ID // pickRepairCandidate's shuffled passive snapshot
+	rcvScratch    []id.ID // sanitizePeerList's filtered received-list copy
 
 	listener Listener
 	stats    Stats
@@ -567,9 +573,13 @@ func (n *Node) handleShuffle(m msg.Message) {
 		}
 	}
 	// Accept: reply with an equally sized random passive sample over a
-	// temporary connection straight back to the walk origin.
+	// temporary connection straight back to the walk origin. The exchange
+	// list is sanitized first — a lying peer may have packed it with our own
+	// id, duplicates or garbage, and sizing the reply by the raw list would
+	// let an oversized lie drain our whole passive view back to the attacker.
 	n.stats.ShufflesAccepted++
-	reply := n.passive.Sample(n.env.Rand(), len(m.Nodes))
+	received := n.sanitizePeerList(m.Nodes)
+	reply := n.passive.Sample(n.env.Rand(), len(received))
 	// Ignore a send failure: the origin died and there is nothing to repair
 	// (it was very likely not our neighbor).
 	_ = n.env.Send(origin, msg.Message{
@@ -577,13 +587,56 @@ func (n *Node) handleShuffle(m msg.Message) {
 		Sender: n.self,
 		Nodes:  reply,
 	})
-	n.integrateShuffle(m.Nodes, reply)
+	n.integrateShuffle(received, reply)
 }
 
 func (n *Node) handleShuffleReply(m msg.Message) {
+	if n.lastShuffleSent == nil {
+		// No shuffle outstanding: an unsolicited, duplicated or reflected
+		// reply (an attacker can forge a SHUFFLE whose walk origin is any
+		// victim). Integrating it would hand an arbitrary sender control over
+		// our passive view, so drop it at the boundary.
+		n.stats.UnsolicitedShuffleReplies++
+		return
+	}
 	sent := n.lastShuffleSent
 	n.lastShuffleSent = nil
-	n.integrateShuffle(m.Nodes, sent)
+	n.integrateShuffle(n.sanitizePeerList(m.Nodes), sent)
+}
+
+// sanitizePeerList filters a shuffle exchange list at the handler boundary:
+// our own id, nil ids and duplicates are dropped, and the list is capped at
+// several times the largest exchange our own configuration would produce
+// (remote configurations may legitimately differ, but a 16k-entry "exchange"
+// is an attack, not a big node). The input is a frozen message slice, so the
+// filtered copy lives in a reused scratch buffer, valid until the next call.
+// Everything dropped here is counted in Stats.ShuffleEntriesRejected.
+func (n *Node) sanitizePeerList(list []id.ID) []id.ID {
+	max := 4 * (1 + n.cfg.ShuffleKa + n.cfg.ShuffleKp)
+	if max < 16 {
+		max = 16
+	}
+	out := n.rcvScratch[:0]
+	for _, node := range list {
+		if node == n.self || node.IsNil() || len(out) >= max {
+			n.stats.ShuffleEntriesRejected++
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == node {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			n.stats.ShuffleEntriesRejected++
+			continue
+		}
+		out = append(out, node)
+	}
+	n.rcvScratch = out
+	return out
 }
 
 // integrateShuffle merges received identifiers into the passive view. When

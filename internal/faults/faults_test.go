@@ -1,0 +1,321 @@
+package faults
+
+import (
+	"testing"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/rng"
+)
+
+// record is a test Redeliver sink.
+type record struct {
+	msgs   []msg.Message
+	tos    []id.ID
+	delays []uint64
+}
+
+func (rc *record) redeliver(from, to id.ID, m msg.Message, delay uint64) {
+	rc.msgs = append(rc.msgs, m)
+	rc.tos = append(rc.tos, to)
+	rc.delays = append(rc.delays, delay)
+}
+
+func TestInjectorZeroValueIsNoOp(t *testing.T) {
+	var inj Injector
+	hook := inj.Hook()
+	m := msg.Message{Type: msg.Gossip, Sender: 1, Round: 7}
+	repl, ok := hook(2, &m)
+	if repl != nil || !ok {
+		t.Errorf("zero injector altered delivery: repl=%v ok=%v", repl, ok)
+	}
+	if st := inj.Stats(); st.Inspected != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInjectorDropRate(t *testing.T) {
+	inj := Injector{
+		Rand:    rng.New(1),
+		Default: Profile{Drop: 0.25},
+	}
+	hook := inj.Hook()
+	dropped := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		m := msg.Message{Type: msg.Gossip, Sender: 1, Round: uint64(i)}
+		if _, ok := hook(2, &m); !ok {
+			dropped++
+		}
+	}
+	frac := float64(dropped) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("drop fraction = %.3f, want ~0.25", frac)
+	}
+	if st := inj.Stats(); st.Dropped != uint64(dropped) {
+		t.Errorf("Dropped = %d, counted %d", st.Dropped, dropped)
+	}
+}
+
+func TestInjectorDuplicateAndDelayRedeliver(t *testing.T) {
+	rc := &record{}
+	inj := Injector{
+		Rand:      rng.New(2),
+		Redeliver: rc.redeliver,
+		Default:   Profile{Duplicate: 1, DupDelay: 3, Delay: 1, MaxDelay: 5},
+	}
+	hook := inj.Hook()
+	m := msg.Message{Type: msg.Gossip, Sender: 1, Round: 9}
+	_, ok := hook(2, &m)
+	if ok {
+		t.Error("Delay=1 must suppress the immediate delivery")
+	}
+	if len(rc.msgs) != 2 {
+		t.Fatalf("redeliveries = %d, want 2 (duplicate + delayed original)", len(rc.msgs))
+	}
+	for i, got := range rc.msgs {
+		if got.Round != 9 || rc.tos[i] != 2 {
+			t.Errorf("redelivery %d: round=%d to=%v", i, got.Round, rc.tos[i])
+		}
+	}
+	if rc.delays[0] > 3 {
+		t.Errorf("duplicate delay = %d, want <= DupDelay", rc.delays[0])
+	}
+	if rc.delays[1] < 1 || rc.delays[1] > 6 {
+		t.Errorf("delay-fault delay = %d, want in [1, 1+MaxDelay]", rc.delays[1])
+	}
+	if st := inj.Stats(); st.Duplicated != 1 || st.Delayed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInjectorRedeliverNilDisablesDupDelay(t *testing.T) {
+	inj := Injector{
+		Rand:    rng.New(3),
+		Default: Profile{Duplicate: 1, Delay: 1},
+	}
+	m := msg.Message{Type: msg.Gossip}
+	if _, ok := inj.Hook()(2, &m); !ok {
+		t.Error("without Redeliver the delay fault must be disabled (message delivered)")
+	}
+}
+
+func TestInjectorFilterPassesThroughUndrawn(t *testing.T) {
+	inj := Injector{
+		Rand:    rng.New(4),
+		Default: Profile{Drop: 1},
+		Filter: func(_ id.ID, m *msg.Message) bool {
+			return m.Type == msg.Gossip // only gossip is fault-eligible
+		},
+	}
+	hook := inj.Hook()
+	j := msg.Message{Type: msg.Join}
+	if _, ok := hook(2, &j); !ok {
+		t.Error("filtered-out message was dropped")
+	}
+	g := msg.Message{Type: msg.Gossip}
+	if _, ok := hook(2, &g); ok {
+		t.Error("fault-eligible message survived Drop=1")
+	}
+}
+
+func TestInjectorPerLinkOverridesDefault(t *testing.T) {
+	lossy := &Profile{Drop: 1}
+	inj := Injector{
+		Rand: rng.New(5),
+		PerLink: func(from, to id.ID) *Profile {
+			if from == 1 {
+				return lossy
+			}
+			return nil // fall back to Default (no faults)
+		},
+	}
+	hook := inj.Hook()
+	m1 := msg.Message{Type: msg.Gossip, Sender: 1}
+	if _, ok := hook(2, &m1); ok {
+		t.Error("lossy link delivered")
+	}
+	m2 := msg.Message{Type: msg.Gossip, Sender: 3}
+	if _, ok := hook(2, &m2); !ok {
+		t.Error("default link dropped")
+	}
+}
+
+func TestTamperCountsAndReplaces(t *testing.T) {
+	inj := Injector{
+		Rand: rng.New(6),
+		Tamper: func(_ id.ID, m *msg.Message) *msg.Message {
+			repl := *m
+			repl.Round = 42
+			return &repl
+		},
+	}
+	m := msg.Message{Type: msg.Gossip, Round: 1}
+	repl, ok := inj.Hook()(2, &m)
+	if !ok || repl == nil || repl.Round != 42 {
+		t.Errorf("tamper result: repl=%v ok=%v", repl, ok)
+	}
+	if st := inj.Stats(); st.Tampered != 1 {
+		t.Errorf("Tampered = %d, want 1", st.Tampered)
+	}
+}
+
+func TestChainShortCircuitsAndThreadsReplacements(t *testing.T) {
+	bump := func(_ id.ID, m *msg.Message) (*msg.Message, bool) {
+		repl := *m
+		repl.Round++
+		return &repl, true
+	}
+	dropOdd := func(_ id.ID, m *msg.Message) (*msg.Message, bool) {
+		return nil, m.Round%2 == 0
+	}
+	hook := Chain(bump, bump, dropOdd)
+	m := msg.Message{Type: msg.Gossip, Round: 0}
+	repl, ok := hook(1, &m)
+	if !ok || repl == nil || repl.Round != 2 {
+		t.Errorf("chained result: repl=%+v ok=%v", repl, ok)
+	}
+	m = msg.Message{Type: msg.Gossip, Round: 1}
+	if _, ok := hook(1, &m); ok {
+		t.Error("chain did not short-circuit on suppression")
+	}
+}
+
+func TestShuffleLiarPoisonsWithoutMutatingOriginal(t *testing.T) {
+	r := rng.New(7)
+	liar := ShuffleLiar(r)
+	orig := []id.ID{10, 11}
+	m := msg.Message{Type: msg.Shuffle, Sender: 5, Nodes: orig}
+	repl := liar(3, &m)
+	if repl == nil {
+		t.Fatal("liar left a shuffle untouched")
+	}
+	// The receiver's own id must be among the lies.
+	foundSelf := false
+	for _, n := range repl.Nodes {
+		if n == 3 {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Errorf("poisoned list %v lacks the receiver's id", repl.Nodes)
+	}
+	if len(repl.Nodes) <= len(orig) {
+		t.Errorf("poisoned list %v not longer than original %v", repl.Nodes, orig)
+	}
+	// Copy-on-write: the original message's frozen slice is untouched.
+	if &orig[0] == &repl.Nodes[0] {
+		t.Error("liar reused the original slice backing array")
+	}
+	if m.Nodes[0] != 10 || m.Nodes[1] != 11 || len(m.Nodes) != 2 {
+		t.Errorf("original mutated: %v", m.Nodes)
+	}
+	// Non-shuffle traffic passes untouched.
+	g := msg.Message{Type: msg.Gossip, Nodes: orig}
+	if liar(3, &g) != nil {
+		t.Error("liar tampered non-shuffle traffic")
+	}
+}
+
+func TestPayloadCorrupterFlipsCopy(t *testing.T) {
+	r := rng.New(8)
+	corrupt := PayloadCorrupter(r)
+	payload := []byte{1, 2, 3}
+	m := msg.Message{Type: msg.Gossip, Payload: payload}
+	repl := corrupt(1, &m)
+	if repl == nil {
+		t.Fatal("corrupter left a payload untouched")
+	}
+	diff := 0
+	for i := range payload {
+		if repl.Payload[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corrupted bytes = %d, want exactly 1", diff)
+	}
+	if payload[0] != 1 || payload[1] != 2 || payload[2] != 3 {
+		t.Errorf("original payload mutated: %v", payload)
+	}
+	empty := msg.Message{Type: msg.Gossip}
+	if corrupt(1, &empty) != nil {
+		t.Error("corrupter tampered an empty payload")
+	}
+}
+
+func TestTamperBySendersRestricts(t *testing.T) {
+	byz := map[id.ID]bool{4: true}
+	tam := TamperBySenders(byz, func(_ id.ID, m *msg.Message) *msg.Message {
+		repl := *m
+		repl.Round = 99
+		return &repl
+	})
+	honest := msg.Message{Type: msg.Gossip, Sender: 1}
+	if tam(2, &honest) != nil {
+		t.Error("honest sender tampered")
+	}
+	lying := msg.Message{Type: msg.Gossip, Sender: 4}
+	if repl := tam(2, &lying); repl == nil || repl.Round != 99 {
+		t.Error("byzantine sender not tampered")
+	}
+}
+
+func TestReplayerReinjectsStaleRounds(t *testing.T) {
+	rc := &record{}
+	rp := &Replayer{Rand: rng.New(9), Redeliver: rc.redeliver, Prob: 1, Keep: 4}
+	hook := rp.Hook()
+	for i := uint64(1); i <= 10; i++ {
+		m := msg.Message{Type: msg.Gossip, Sender: 1, Round: i}
+		if repl, ok := hook(2, &m); repl != nil || !ok {
+			t.Fatal("replayer must pass the original through")
+		}
+	}
+	if rp.Replayed() != 10 || len(rc.msgs) != 10 {
+		t.Fatalf("replayed = %d (sink %d), want 10", rp.Replayed(), len(rc.msgs))
+	}
+	// Replays draw from the bounded ring: only the Keep most recent rounds.
+	for _, m := range rc.msgs[len(rc.msgs)-3:] {
+		if m.Round < 6 {
+			t.Errorf("replayed round %d evicted from a Keep=4 ring over rounds 1..10", m.Round)
+		}
+	}
+	// Control traffic is neither recorded nor replayed.
+	rcLen := len(rc.msgs)
+	j := msg.Message{Type: msg.Join, Sender: 1}
+	hook(2, &j)
+	if len(rc.msgs) != rcLen {
+		t.Error("replayer recorded control traffic")
+	}
+}
+
+func TestSynchronizedPreservesResult(t *testing.T) {
+	hook := Synchronized(func(_ id.ID, m *msg.Message) (*msg.Message, bool) {
+		return nil, m.Round != 3
+	})
+	m := msg.Message{Round: 3}
+	if _, ok := hook(1, &m); ok {
+		t.Error("wrapped hook result lost")
+	}
+}
+
+func TestDeterministicDrawSequence(t *testing.T) {
+	// Same seed, same delivery order ⇒ identical fault decisions.
+	run := func() []bool {
+		inj := Injector{Rand: rng.New(11), Default: Profile{Drop: 0.5}}
+		hook := inj.Hook()
+		var out []bool
+		for i := 0; i < 100; i++ {
+			m := msg.Message{Type: msg.Gossip, Round: uint64(i)}
+			_, ok := hook(2, &m)
+			out = append(out, ok)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault decisions diverge at %d under the same seed", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package faults
+
+// Scenario generators: deterministic descriptions of hostile runs — churn
+// traces, flash crowds, partition plans, per-link fault surfaces — consumed
+// by the experiment harness (internal/sim's adversarial suite). Generators
+// are pure functions of their seeded rng, so a scenario is replayable from
+// the run's seed alone.
+
+import (
+	"math"
+	"sort"
+
+	"hyparview/internal/id"
+	"hyparview/internal/rng"
+)
+
+// ChurnEvent is one membership change in a generated trace. The time unit is
+// whatever the consumer drives the run with (virtual ticks or cycle indices).
+type ChurnEvent struct {
+	At   uint64
+	Join bool // true: a fresh node joins; false: a random live node crashes
+}
+
+// PoissonChurn generates a churn trace over [0, horizon): events arrive as a
+// Poisson process with mean inter-arrival gap meanGap, each independently a
+// join or a crash with equal probability — the classic churn model where
+// session starts and ends are memoryless.
+func PoissonChurn(r *rng.Rand, meanGap float64, horizon uint64) []ChurnEvent {
+	var out []ChurnEvent
+	at := 0.0
+	for {
+		// Exponential inter-arrival via inverse transform; 1-u is in (0, 1].
+		at += -math.Log(1-r.Float64()) * meanGap
+		if at >= float64(horizon) {
+			return out
+		}
+		out = append(out, ChurnEvent{At: uint64(at), Join: r.Bool()})
+	}
+}
+
+// FlashCrowd is count simultaneous joins at tick at: the correlated-arrival
+// burst a Poisson trace never produces.
+func FlashCrowd(at uint64, count int) []ChurnEvent {
+	out := make([]ChurnEvent, count)
+	for i := range out {
+		out[i] = ChurnEvent{At: at, Join: true}
+	}
+	return out
+}
+
+// MergeTraces merges churn traces into one time-ordered trace. The sort is
+// stable so same-tick events keep their per-trace order.
+func MergeTraces(traces ...[]ChurnEvent) []ChurnEvent {
+	var out []ChurnEvent
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// PartitionPlan describes an asymmetric network cut that heals later: a
+// MinorityFrac-sized side is split off at CutAt and the cut is removed at
+// HealAt. Consumers arrange for traffic (e.g. an in-flight broadcast) to
+// straddle the window.
+type PartitionPlan struct {
+	CutAt        uint64
+	HealAt       uint64
+	MinorityFrac float64
+}
+
+// AsymmetricPartition is a convenience constructor for PartitionPlan.
+func AsymmetricPartition(cutAt, healAt uint64, minorityFrac float64) PartitionPlan {
+	return PartitionPlan{CutAt: cutAt, HealAt: healAt, MinorityFrac: minorityFrac}
+}
+
+// LinkProfiles derives a deterministic per-link fault surface: every directed
+// link gets its own profile with rates drawn uniformly in [0, max.<rate>],
+// fixed for the run — some links lossy, some reordering, most mild — keyed
+// only by (seed, from, to). Profiles are cached per link (memory grows with
+// the set of links actually carrying traffic, i.e. the overlay's edges).
+func LinkProfiles(seed uint64, max Profile) func(from, to id.ID) *Profile {
+	cache := make(map[[2]id.ID]*Profile)
+	return func(from, to id.ID) *Profile {
+		k := [2]id.ID{from, to}
+		if p, ok := cache[k]; ok {
+			return p
+		}
+		r := rng.New(seed ^ uint64(from)*0x9e3779b97f4a7c15 ^ uint64(to)*0xbf58476d1ce4e5b9)
+		p := &Profile{
+			Drop:      r.Float64() * max.Drop,
+			Duplicate: r.Float64() * max.Duplicate,
+			DupDelay:  max.DupDelay,
+			Delay:     r.Float64() * max.Delay,
+			MaxDelay:  max.MaxDelay,
+		}
+		cache[k] = p
+		return p
+	}
+}
+
+// PickFraction selects ⌈frac·len(ids)⌉ distinct identifiers uniformly at
+// random: the harness helper for choosing Byzantine senders or crash victims.
+func PickFraction(r *rng.Rand, ids []id.ID, frac float64) map[id.ID]bool {
+	k := int(frac*float64(len(ids)) + 0.5)
+	if k > len(ids) {
+		k = len(ids)
+	}
+	picked := make(map[id.ID]bool, k)
+	scratch := append([]id.ID(nil), ids...)
+	r.Shuffle(len(scratch), func(i, j int) { scratch[i], scratch[j] = scratch[j], scratch[i] })
+	for _, n := range scratch[:k] {
+		picked[n] = true
+	}
+	return picked
+}

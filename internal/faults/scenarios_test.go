@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"testing"
+
+	"hyparview/internal/id"
+	"hyparview/internal/rng"
+)
+
+func TestPoissonChurnDeterministicAndBounded(t *testing.T) {
+	gen := func() []ChurnEvent { return PoissonChurn(rng.New(1), 2.0, 100) }
+	a, b := gen(), gen()
+	if len(a) == 0 {
+		t.Fatal("empty churn trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	last := uint64(0)
+	for i, ev := range a {
+		if ev != b[i] {
+			t.Fatalf("traces diverge at %d under the same seed", i)
+		}
+		if ev.At >= 100 {
+			t.Errorf("event %d at %d, beyond horizon", i, ev.At)
+		}
+		if ev.At < last {
+			t.Errorf("trace not time-ordered at %d", i)
+		}
+		last = ev.At
+	}
+	// Mean gap 2.0 over horizon 100 ⇒ ~50 events.
+	if len(a) < 25 || len(a) > 100 {
+		t.Errorf("trace has %d events, want ~50", len(a))
+	}
+}
+
+func TestFlashCrowdAllJoinsAtOneTick(t *testing.T) {
+	crowd := FlashCrowd(7, 30)
+	if len(crowd) != 30 {
+		t.Fatalf("crowd size = %d", len(crowd))
+	}
+	for _, ev := range crowd {
+		if !ev.Join || ev.At != 7 {
+			t.Errorf("unexpected event %+v", ev)
+		}
+	}
+}
+
+func TestMergeTracesStableOrder(t *testing.T) {
+	a := []ChurnEvent{{At: 1, Join: true}, {At: 5, Join: true}}
+	b := []ChurnEvent{{At: 1, Join: false}, {At: 3, Join: false}}
+	merged := MergeTraces(a, b)
+	want := []ChurnEvent{{At: 1, Join: true}, {At: 1, Join: false}, {At: 3, Join: false}, {At: 5, Join: true}}
+	if len(merged) != len(want) {
+		t.Fatalf("merged length = %d", len(merged))
+	}
+	for i, ev := range merged {
+		if ev != want[i] {
+			t.Errorf("merged[%d] = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+func TestLinkProfilesDeterministicPerLink(t *testing.T) {
+	max := Profile{Drop: 0.1, Duplicate: 0.2, DupDelay: 3, Delay: 0.4, MaxDelay: 5}
+	a := LinkProfiles(1, max)
+	b := LinkProfiles(1, max)
+	p1 := a(1, 2)
+	if p2 := a(1, 2); p1 != p2 {
+		t.Error("profile not cached per link")
+	}
+	q1 := b(1, 2)
+	if *p1 != *q1 {
+		t.Errorf("same (seed, link) produced different profiles: %+v vs %+v", *p1, *q1)
+	}
+	if r := a(2, 1); *r == *p1 {
+		t.Error("reverse direction unexpectedly identical (directed links must draw independently)")
+	}
+	if p1.Drop < 0 || p1.Drop > max.Drop || p1.Delay > max.Delay {
+		t.Errorf("profile out of bounds: %+v", *p1)
+	}
+	if p1.DupDelay != max.DupDelay || p1.MaxDelay != max.MaxDelay {
+		t.Errorf("delay bounds not inherited: %+v", *p1)
+	}
+}
+
+func TestPickFraction(t *testing.T) {
+	ids := make([]id.ID, 100)
+	for i := range ids {
+		ids[i] = id.ID(i + 1)
+	}
+	picked := PickFraction(rng.New(3), ids, 0.1)
+	if len(picked) != 10 {
+		t.Errorf("picked %d, want 10", len(picked))
+	}
+	for n := range picked {
+		if n < 1 || n > 100 {
+			t.Errorf("picked unknown id %v", n)
+		}
+	}
+	if same := PickFraction(rng.New(3), ids, 0.1); len(same) == len(picked) {
+		for n := range picked {
+			if !same[n] {
+				t.Error("same seed picked a different set")
+				break
+			}
+		}
+	}
+	// The input slice is not reordered.
+	for i := range ids {
+		if ids[i] != id.ID(i+1) {
+			t.Fatal("PickFraction mutated its input")
+		}
+	}
+	if all := PickFraction(rng.New(4), ids, 2.0); len(all) != 100 {
+		t.Errorf("frac > 1 picked %d, want all 100", len(all))
+	}
+}

@@ -1,0 +1,81 @@
+package msg
+
+import (
+	"errors"
+	"testing"
+
+	"hyparview/internal/id"
+)
+
+// Hostile-frame bounds: a forged length field on a short frame must be
+// rejected by arithmetic alone — before any allocation sized by the lie.
+// These pin the decode-side defences the adversarial tamperers probe.
+
+// dirCountOffset locates the directory count field of an encoding with no
+// variable sections: fixed header, then empty Nodes, Entries and Payload.
+func dirCountOffset(t *testing.T) ([]byte, int) {
+	t.Helper()
+	buf := Encode(Message{Type: Gossip, Sender: 1})
+	// header + nNodes(2) + nEntries(2) + nPayload(4) + nDir(2)
+	if len(buf) != headerSize+10 {
+		t.Fatalf("unexpected frame size %d, layout changed", len(buf))
+	}
+	return buf, len(buf) - 2
+}
+
+func TestDecodeForgedDirectoryCountRejectedWithoutAllocation(t *testing.T) {
+	buf, off := dirCountOffset(t)
+	// Claim maxList directory entries on a frame holding zero bytes of them.
+	buf[off] = byte(maxList >> 8 & 0xff)
+	buf[off+1] = byte(maxList & 0xff)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := Decode(buf); !errors.Is(err, ErrShortBuffer) {
+			t.Fatalf("Decode error = %v, want ErrShortBuffer", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("hostile frame cost %.0f allocs/op, want 0", allocs)
+	}
+}
+
+func TestDecodeOversizedDirectoryCountRejected(t *testing.T) {
+	buf, off := dirCountOffset(t)
+	buf[off] = 0xff
+	buf[off+1] = 0xff
+	if _, _, err := Decode(buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Decode error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeForgedAddrLengthRejected(t *testing.T) {
+	buf := Encode(Message{Type: Join, Sender: 1, Directory: []DirEntry{{Node: 2, Addr: "h:1"}}})
+	// The 2-byte addr length sits 10 bytes from the end ("h:1" + its 2-byte
+	// length prefix after the 8-byte node id).
+	off := len(buf) - 3 - 2
+	buf[off] = 0xff
+	buf[off+1] = 0xff
+	if _, _, err := Decode(buf); err == nil {
+		t.Error("Decode accepted a forged 65535-byte addr on a 3-byte frame")
+	}
+}
+
+func TestDecodeForgedCountsNeverOverAllocate(t *testing.T) {
+	// Sweep a forged big-endian uint16 through every offset of a small valid
+	// frame: whatever field it lands on, a short frame must never cost more
+	// than the frame's own size in allocations (no length-field-sized makes).
+	base := Encode(Message{Type: Shuffle, Sender: 1, Nodes: []id.ID{2, 3}, Payload: []byte("xy")})
+	for off := 0; off+2 <= len(base); off++ {
+		buf := append([]byte(nil), base...)
+		buf[off] = 0x3f
+		buf[off+1] = 0xff
+		allocs := testing.AllocsPerRun(20, func() {
+			_, _, _ = Decode(buf)
+		})
+		// A successful decode of a mutated-but-valid frame may allocate its
+		// (frame-bounded) slices; a failed one must allocate nothing big. In
+		// both cases a handful of small allocations is the ceiling.
+		if allocs > 8 {
+			t.Errorf("offset %d: %.0f allocs/op decoding a %d-byte frame", off, allocs, len(buf))
+		}
+	}
+}

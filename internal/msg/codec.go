@@ -190,6 +190,12 @@ func Decode(buf []byte) (Message, int, error) {
 	if nDir > maxList {
 		return m, 0, ErrTooLarge
 	}
+	// Verify the buffer can hold at least the fixed part of every entry
+	// before allocating: a 2-byte hostile frame claiming 16384 entries must
+	// not cost a ~400KB allocation per frame.
+	if len(buf) < off+10*nDir {
+		return m, 0, ErrShortBuffer
+	}
 	if nDir > 0 {
 		m.Directory = make([]DirEntry, nDir)
 		for i := range m.Directory {

@@ -42,6 +42,24 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(Message{Type: Pong, Sender: 2, Round: 0xdecafbad}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
+	// Tamperer-style mutations, mirroring the adversarial suite's fault
+	// classes: a shuffle with its node count forged high on a short frame, a
+	// payload gossip with one flipped payload byte, a frame truncated
+	// mid-section, and a directory frame claiming entries it does not carry.
+	shuf := Encode(Message{Type: Shuffle, Sender: 1, Nodes: []id.ID{2, 3, 4}})
+	forged := append([]byte(nil), shuf...)
+	forged[headerSize] = 0x3f
+	forged[headerSize+1] = 0xff
+	f.Add(forged)
+	flip := Encode(Message{Type: PlumtreeGossip, Sender: 1, Round: 3, Payload: []byte("abcd")})
+	flip[len(flip)-4] ^= 0x80
+	f.Add(flip)
+	f.Add(shuf[:len(shuf)-5])
+	dir := Encode(Message{Type: Join, Sender: 1, Directory: []DirEntry{{Node: 2, Addr: "h:1"}}})
+	forgedDir := append([]byte(nil), dir...)
+	forgedDir[len(dir)-13] = 0x3f
+	forgedDir[len(dir)-12] = 0xff
+	f.Add(forgedDir)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, n, err := Decode(data)
 		if err != nil {

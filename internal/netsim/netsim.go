@@ -39,7 +39,6 @@
 package netsim
 
 import (
-	"errors"
 	"fmt"
 
 	"hyparview/internal/id"
@@ -50,8 +49,11 @@ import (
 
 // ErrOverflow is returned (wrapped) by Send when the in-flight event limit
 // is exceeded. Overflowed events are counted in Stats.Overflowed and dropped,
-// so runaway message storms degrade the run instead of crashing it.
-var ErrOverflow = errors.New("netsim: event queue limit exceeded")
+// so runaway message storms degrade the run instead of crashing it. It is an
+// alias of peer.ErrOverflow: the TCP transport sheds with the same sentinel,
+// so protocol code distinguishes overload from peer death identically in
+// both runtimes.
+var ErrOverflow = peer.ErrOverflow
 
 // Event kinds: wire traffic versus scheduler deliveries.
 const (
@@ -65,6 +67,7 @@ type event struct {
 	from     id.ID // sender identity handed to Deliver (self for timers)
 	to       int32 // destination node index
 	kind     uint8
+	exempt   bool   // bypass the Intercept hook (fault-injected redeliveries)
 	interval uint64 // re-arm interval for kindPeriodic
 	m        msg.Message
 }
@@ -107,6 +110,11 @@ type Stats struct {
 	// dropped and reported with ErrOverflow instead of crashing the run, so
 	// massive-failure experiments degrade gracefully under message storms.
 	Overflowed uint64
+	// FaultDropped counts deliveries suppressed by the Intercept hook.
+	FaultDropped uint64
+	// Redelivered counts messages re-injected through Redeliver (delay,
+	// duplicate and replay faults).
+	Redelivered uint64
 	// BytesSent sums the wire-encoded size of every enqueued message,
 	// supporting the packet-overhead measurements the paper planned for
 	// PlanetLab (§6).
@@ -179,6 +187,23 @@ type Sim struct {
 	// scheduled with delay 0 — the classic FIFO mode the paper's hop-count
 	// experiments run in (they measure hops, not wall time).
 	Latency func(from, to id.ID, r *rng.Rand) uint64
+
+	// Intercept, when non-nil, is the fault-injection seam: it observes every
+	// network message at the delivery path, after liveness and partition
+	// filtering and before Tap and dispatch (timers are local scheduler
+	// state, not wire traffic, and are never intercepted). Returning false
+	// suppresses the delivery (counted in Stats.FaultDropped). Returning a
+	// non-nil replacement delivers it instead of the original — tamper faults
+	// mutate a copy, never the original's slices, which other fan-out copies
+	// share under the copy-on-write regime. The hook runs on a private struct
+	// copy and may call Redeliver to schedule duplicates, delayed copies or
+	// replays; redelivered messages bypass the hook (and the latency model),
+	// so a delay fault cannot re-delay its own artifact forever. For the
+	// determinism contract, any randomness must come from a stream seeded off
+	// the run's seed and consumed only here, in delivery order (see package
+	// faults). The nil case costs one predictable branch: the no-fault hot
+	// path stays allocation-free.
+	Intercept func(node id.ID, m *msg.Message) (*msg.Message, bool)
 }
 
 // New returns an empty simulator seeded with seed.
@@ -255,7 +280,7 @@ func (e *Endpoint) Now() uint64 { return e.sim.now }
 // traffic already scheduled at the current instant when delay is zero.
 // Infallible: timers bypass the MaxQueue limit (see schedule).
 func (e *Endpoint) After(delay uint64, m msg.Message) {
-	_ = e.sim.schedule(e.self, e.idx, kindTimer, delay, 0, &m)
+	_ = e.sim.schedule(e.self, e.idx, kindTimer, delay, 0, &m, false)
 }
 
 // Every implements peer.Scheduler: m is delivered to this node's process
@@ -266,7 +291,7 @@ func (e *Endpoint) Every(interval uint64, m msg.Message) {
 	if interval == 0 {
 		interval = 1
 	}
-	_ = e.sim.schedule(e.self, e.idx, kindPeriodic, interval, interval, &m)
+	_ = e.sim.schedule(e.self, e.idx, kindPeriodic, interval, interval, &m, false)
 }
 
 // Watch registers this node for failure notifications about dst, modelling
@@ -343,11 +368,31 @@ func (s *Sim) send(from, to id.ID, m *msg.Message) error {
 	if s.Latency != nil {
 		delay = s.Latency(from, to, s.rand)
 	}
-	if err := s.schedule(from, ti, kindMessage, delay, 0, m); err != nil {
+	if err := s.schedule(from, ti, kindMessage, delay, 0, m, false); err != nil {
 		return err
 	}
 	s.stats.Sent++
 	s.stats.BytesSent += uint64(m.EncodedSize())
+	return nil
+}
+
+// Redeliver enqueues m for delivery to dst after delay ticks, bypassing both
+// the Intercept hook and the Latency model: it is the re-entry path fault
+// injectors use to express delay, duplicate and replay faults without the
+// hook re-intercepting its own artifacts. The message counts against
+// MaxQueue and the delivery stats but not Stats.Sent — it is a fault
+// artifact, not a protocol send. An unknown or dead destination is reported
+// as down, matching Send; a node dying afterwards drops the copy at delivery
+// time like any in-flight message.
+func (s *Sim) Redeliver(from, to id.ID, m msg.Message, delay uint64) error {
+	ti, ok := s.nodeIndex(to)
+	if !ok || !s.aliveAt(ti) {
+		return fmt.Errorf("redeliver %v->%v: %w", from, to, peer.ErrPeerDown)
+	}
+	if err := s.schedule(from, ti, kindMessage, delay, 0, &m, true); err != nil {
+		return err
+	}
+	s.stats.Redelivered++
 	return nil
 }
 
@@ -358,7 +403,7 @@ func (s *Sim) send(from, to id.ID, m *msg.Message) error {
 // dropping those would wedge timer-owning state machines forever (an armed
 // Plumtree timer that never fires blocks that round's repair permanently),
 // so After/Every stay genuinely infallible as the contract promises.
-func (s *Sim) schedule(from id.ID, to int32, kind uint8, delay, interval uint64, m *msg.Message) error {
+func (s *Sim) schedule(from id.ID, to int32, kind uint8, delay, interval uint64, m *msg.Message, exempt bool) error {
 	if kind == kindMessage {
 		limit := s.MaxQueue
 		if limit <= 0 {
@@ -372,7 +417,7 @@ func (s *Sim) schedule(from id.ID, to int32, kind uint8, delay, interval uint64,
 	}
 	slot := s.newSlot()
 	ev := &s.slab[slot]
-	ev.from, ev.to, ev.kind, ev.interval, ev.m = from, to, kind, interval, *m
+	ev.from, ev.to, ev.kind, ev.exempt, ev.interval, ev.m = from, to, kind, exempt, interval, *m
 	s.seq++
 	he := heapEvent{at: s.now + delay, seq: s.seq, slot: slot}
 	if kind == kindPeriodic {
@@ -567,6 +612,9 @@ func (s *Sim) fire(he heapEvent) int {
 			s.releaseSlot(he.slot)
 			return 0
 		}
+		if s.Intercept != nil && !ev.exempt {
+			return s.fireIntercepted(he, ev.to, from)
+		}
 		if s.Tap != nil {
 			s.Tap(from, dst.id, ev.m)
 		}
@@ -577,6 +625,31 @@ func (s *Sim) fire(he heapEvent) int {
 	if kind == kindMessage {
 		s.stats.Delivered++
 	}
+	return 1
+}
+
+// fireIntercepted runs the Intercept hook for one message delivery. The hook
+// operates on a private struct copy: it may mutate or replace that copy but
+// never the slab slot, whose slices are shared copy-on-write with every other
+// copy of a fan-out — and the copy also keeps the delivered message stable
+// when the hook's own Redeliver calls grow the slab under the slot.
+func (s *Sim) fireIntercepted(he heapEvent, toIdx int32, from id.ID) int {
+	hooked := s.slab[he.slot].m
+	s.releaseSlot(he.slot)
+	dstID := s.nodes[toIdx].id
+	repl, deliver := s.Intercept(dstID, &hooked)
+	if !deliver {
+		s.stats.FaultDropped++
+		return 0
+	}
+	if repl != nil {
+		hooked = *repl
+	}
+	if s.Tap != nil {
+		s.Tap(from, dstID, hooked)
+	}
+	s.nodes[toIdx].proc.Deliver(from, hooked)
+	s.stats.Delivered++
 	return 1
 }
 

@@ -20,6 +20,14 @@ import (
 // paper relies on exactly this signal as its failure detector (§1 item iii).
 var ErrPeerDown = errors.New("peer: destination down")
 
+// ErrOverflow is returned (wrapped) by Env.Send when the environment sheds
+// the message under overload instead of queueing it unboundedly: the
+// simulator's in-flight event cap and the TCP transport's bounded per-peer
+// send queues both report it. It is deliberately distinct from ErrPeerDown —
+// an overloaded link is alive, and tearing it down would amplify exactly the
+// message storm that caused the shed. Protocols treat it as a lost message.
+var ErrOverflow = errors.New("peer: send queue overflow")
+
 // Message ownership.
 //
 // msg.Message is a value type whose slice fields (Payload, Nodes, Entries,

@@ -561,6 +561,37 @@ func (n *Node) reconcile() {
 			continue
 		}
 		n.eager.Add(p)
+		n.announceLast(p)
+	}
+}
+
+// announceLast sends an IHAVE for the most recently delivered round to a
+// newly formed overlay link. Announcements are otherwise sent exactly once,
+// at delivery time, over the links that existed then — so a node that gained
+// this link while the round was in flight (view repair during a partition, a
+// freshly admitted replacement) would never learn of it and could stay
+// permanently deprived even though its new neighbor holds the payload: the
+// fault class the adversarial partition-heal-mid-broadcast scenario pins.
+// One bounded control message per new link re-opens the missing-round
+// timer/graft recovery path.
+func (n *Node) announceLast(p id.ID) {
+	if !n.hasLast {
+		return
+	}
+	c := n.seen.Get(n.lastRound)
+	if c == nil {
+		// Evicted from the seen window: a graft for it could not be served,
+		// so don't advertise it.
+		return
+	}
+	n.msgScratch = msg.Message{
+		Type:   msg.PlumtreeIHave,
+		Sender: n.env.Self(),
+		Round:  n.lastRound,
+		Hops:   c.hops,
+	}
+	if n.sendRefTo(p, &n.msgScratch) {
+		n.control.IHavesSent++
 	}
 }
 

@@ -517,6 +517,13 @@ func (a *Agent) BroadcastStats() BroadcastStats {
 	return out
 }
 
+// TransportStats returns the transport's frame counters: frames written to
+// sockets, frames shed by per-peer send-queue overflow (each a Send that
+// returned peer.ErrOverflow), and inbound deliveries suppressed by a
+// fault-injection hook. Safe without the actor goroutine: counters are
+// atomic.
+func (a *Agent) TransportStats() Stats { return a.tr.Stats() }
+
 // PlumtreeStats returns the Plumtree control-plane counters; ok is false
 // when the agent runs flood broadcast.
 func (a *Agent) PlumtreeStats() (stats plumtree.ControlStats, ok bool) {

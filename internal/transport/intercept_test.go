@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+)
+
+// The fault-injection seam over real sockets: Config.Intercept observes
+// every decoded inbound message after framing/decode and before dispatch,
+// mirroring netsim.Sim.Intercept so the adversarial suite's hooks drive
+// both runtimes unchanged.
+
+func listenWith(t *testing.T, cfg Config, c *collector) *Transport {
+	t.Helper()
+	tr, err := Listen("127.0.0.1:0", cfg, c.onMessage, c.onDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	return tr
+}
+
+func waitStat(t *testing.T, get func() uint64, want uint64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for get() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %s = %d, want %d", what, get(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestInterceptDropsOverSockets(t *testing.T) {
+	var ca, cb collector
+	a := listen(t, &ca)
+	b := listenWith(t, Config{
+		Intercept: func(node id.ID, m *msg.Message) (*msg.Message, bool) {
+			return nil, m.Round == 2 // deliver only round 2
+		},
+	}, &cb)
+	bID := a.Register(b.Addr())
+
+	for i := uint64(1); i <= 3; i++ {
+		if err := a.Send(bID, msg.Message{Type: msg.Gossip, Sender: a.Self(), Round: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := cb.waitMsgs(t, 1)
+	if got[0].Round != 2 {
+		t.Errorf("delivered round %d, want 2", got[0].Round)
+	}
+	waitStat(t, func() uint64 { return b.Stats().FaultDropped }, 2, "FaultDropped")
+	if n := len(cb.waitMsgs(t, 1)); n != 1 {
+		t.Errorf("deliveries = %d, want 1", n)
+	}
+}
+
+func TestInterceptTamperOverSockets(t *testing.T) {
+	var ca, cb collector
+	a := listen(t, &ca)
+	b := listenWith(t, Config{
+		Intercept: func(node id.ID, m *msg.Message) (*msg.Message, bool) {
+			repl := *m
+			repl.Payload = append([]byte(nil), m.Payload...)
+			if len(repl.Payload) > 0 {
+				repl.Payload[0] ^= 0xff
+			}
+			return &repl, true
+		},
+	}, &cb)
+	bID := a.Register(b.Addr())
+
+	if err := a.Send(bID, msg.Message{
+		Type: msg.Gossip, Sender: a.Self(), Round: 1, Payload: []byte{0x0f, 0x22},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := cb.waitMsgs(t, 1)[0]
+	if len(got.Payload) != 2 || got.Payload[0] != 0xf0 || got.Payload[1] != 0x22 {
+		t.Errorf("tampered payload not delivered intact: %v", got.Payload)
+	}
+}
+
+func TestInterceptSeesReceiverIdentity(t *testing.T) {
+	var ca, cb collector
+	a := listen(t, &ca)
+	seen := make(chan id.ID, 1)
+	var b *Transport
+	b = listenWith(t, Config{
+		Intercept: func(node id.ID, m *msg.Message) (*msg.Message, bool) {
+			select {
+			case seen <- node:
+			default:
+			}
+			return nil, true
+		},
+	}, &cb)
+	bID := a.Register(b.Addr())
+	if err := a.Send(bID, msg.Message{Type: msg.Gossip, Sender: a.Self()}); err != nil {
+		t.Fatal(err)
+	}
+	cb.waitMsgs(t, 1)
+	if got := <-seen; got != b.Self() {
+		t.Errorf("hook saw node %v, want the receiver %v", got, b.Self())
+	}
+}
+
+func TestOverflowShedsAndCounts(t *testing.T) {
+	// A sink that accepts the connection and never reads: the kernel buffers
+	// fill, the writer goroutine blocks, the bounded send queue fills, and
+	// further Sends must shed with ErrOverflow — counted in Stats.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c // hold it open, never read
+		}
+	}()
+
+	var ca collector
+	a := listen(t, &ca)
+	dst := a.Register(ln.Addr().String())
+
+	payload := make([]byte, 64<<10)
+	overflowed := 0
+	for i := 0; i < 4096 && overflowed == 0; i++ {
+		err := a.Send(dst, msg.Message{Type: msg.Gossip, Sender: a.Self(), Round: uint64(i), Payload: payload})
+		if errors.Is(err, peer.ErrOverflow) {
+			overflowed++
+		} else if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if overflowed == 0 {
+		t.Fatal("no Send overflowed against a non-reading peer")
+	}
+	if got := a.Stats().Overflowed; got == 0 {
+		t.Error("Stats.Overflowed = 0 after a shed Send")
+	}
+	select {
+	case c := <-accepted:
+		_ = c.Close()
+	default:
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyparview/internal/id"
@@ -51,6 +52,21 @@ type Config struct {
 	DialTimeout time.Duration
 	// WriteTimeout bounds a single frame write (default 5s).
 	WriteTimeout time.Duration
+	// SendQueue caps the per-peer outbound frame queue (default 256). Frames
+	// are written by a per-connection writer goroutine; when a slow peer's
+	// queue is full the frame is shed and Send returns peer.ErrOverflow
+	// (counted in Stats.Overflowed) — the same degrade-don't-die overload
+	// semantics as the simulator's MaxQueue, instead of blocking the caller
+	// until overload becomes indistinguishable from peer death.
+	SendQueue int
+	// Intercept, when non-nil, is the fault-injection seam (the real-socket
+	// counterpart of netsim.Sim.Intercept): it observes every decoded inbound
+	// message after the address directory is absorbed and before dispatch.
+	// Returning false suppresses the delivery; returning a non-nil
+	// replacement dispatches it instead. It is invoked from reader
+	// goroutines, so implementations must be safe for concurrent use (see
+	// faults.Synchronized). Nil costs one predictable branch per frame.
+	Intercept func(node id.ID, m *msg.Message) (*msg.Message, bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -60,7 +76,21 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 5 * time.Second
 	}
+	if c.SendQueue == 0 {
+		c.SendQueue = 256
+	}
 	return c
+}
+
+// Stats counts transport-level events. All counters are cumulative.
+type Stats struct {
+	// FramesSent counts frames successfully written to a socket.
+	FramesSent uint64
+	// Overflowed counts frames shed because a peer's send queue was full;
+	// each corresponds to one Send that returned peer.ErrOverflow.
+	Overflowed uint64
+	// FaultDropped counts inbound deliveries suppressed by Config.Intercept.
+	FaultDropped uint64
 }
 
 // Transport sends and receives protocol messages over TCP. One Transport
@@ -81,15 +111,24 @@ type Transport struct {
 	watched map[id.ID]bool
 	closed  bool
 
+	framesSent   atomic.Uint64
+	overflowed   atomic.Uint64
+	faultDropped atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
-// outConn is a cached outbound connection with a reader goroutine that
-// detects resets.
+// outConn is a cached outbound connection: a reader goroutine that detects
+// resets and a writer goroutine draining the bounded send queue.
 type outConn struct {
-	c  net.Conn
-	wm sync.Mutex // serializes frame writes
+	c      net.Conn
+	ch     chan *sendScratch // owned frames; the writer returns them to the pool
+	closed chan struct{}     // closed exactly once when the connection is dropped
+	once   sync.Once
 }
+
+// shut marks the connection dead for queued and future senders.
+func (oc *outConn) shut() { oc.once.Do(func() { close(oc.closed) }) }
 
 // Listen opens a listener on addr ("host:port", ":0" for ephemeral) and
 // returns a transport whose identity is derived from the bound address.
@@ -150,15 +189,17 @@ type sendScratch struct {
 var sendPool = sync.Pool{New: func() any { return &sendScratch{} }}
 
 // Send delivers m to dst over a cached or freshly dialed connection. A
-// failure to dial or write is reported as peer.ErrPeerDown after the cached
-// connection is discarded.
+// failure to dial is reported as peer.ErrPeerDown. The frame itself is
+// written asynchronously by the connection's writer goroutine: Send returns
+// once the frame is queued, a full queue sheds the frame with
+// peer.ErrOverflow (the peer is overloaded, not dead), and a write failure
+// surfaces through the watch machinery like any connection breakage.
 func (t *Transport) Send(dst id.ID, m msg.Message) error {
 	oc, err := t.conn(dst)
 	if err != nil {
 		return err
 	}
 	sc := sendPool.Get().(*sendScratch)
-	defer sendPool.Put(sc)
 	sc.dir = t.appendDirectory(sc.dir[:0], m)
 	m.Directory = sc.dir
 	frame := append(sc.frame[:0], make([]byte, lenHeaderSize)...)
@@ -166,15 +207,65 @@ func (t *Transport) Send(dst id.ID, m msg.Message) error {
 	sc.frame = frame
 	binary.BigEndian.PutUint32(frame[:lenHeaderSize], uint32(len(frame)-lenHeaderSize))
 
-	oc.wm.Lock()
-	defer oc.wm.Unlock()
-	if err := oc.c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)); err == nil {
-		if _, err = oc.c.Write(frame); err == nil {
-			return nil
+	select {
+	case <-oc.closed:
+		sendPool.Put(sc)
+		return fmt.Errorf("send %v: %w", dst, peer.ErrPeerDown)
+	default:
+	}
+	select {
+	case oc.ch <- sc: // ownership of sc transfers to the writer goroutine
+		return nil
+	default:
+		sendPool.Put(sc)
+		t.overflowed.Add(1)
+		return fmt.Errorf("send %v: queue full: %w", dst, peer.ErrOverflow)
+	}
+}
+
+// writeLoop drains one connection's send queue. Frames are written with the
+// configured deadline; the first failure drops the connection (firing the
+// watch notification) and the loop drains remaining frames back to the pool.
+func (t *Transport) writeLoop(dst id.ID, oc *outConn) {
+	defer t.wg.Done()
+	drain := func() {
+		for {
+			select {
+			case sc := <-oc.ch:
+				sendPool.Put(sc)
+			default:
+				return
+			}
 		}
 	}
-	t.dropConn(dst, oc)
-	return fmt.Errorf("send %v: %w", dst, peer.ErrPeerDown)
+	for {
+		select {
+		case sc := <-oc.ch:
+			err := oc.c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+			if err == nil {
+				_, err = oc.c.Write(sc.frame)
+			}
+			sendPool.Put(sc)
+			if err != nil {
+				t.dropConn(dst, oc)
+				drain()
+				return
+			}
+			t.framesSent.Add(1)
+		case <-oc.closed:
+			drain()
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the transport counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		FramesSent:   t.framesSent.Load(),
+		Overflowed:   t.overflowed.Load(),
+		FaultDropped: t.faultDropped.Load(),
+	}
 }
 
 // Probe attempts to establish (or reuse) a connection to dst without sending
@@ -287,7 +378,7 @@ func (t *Transport) conn(dst id.ID) (*outConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dial %v (%s): %w", dst, addr, peer.ErrPeerDown)
 	}
-	oc := &outConn{c: c}
+	oc := &outConn{c: c, ch: make(chan *sendScratch, t.cfg.SendQueue), closed: make(chan struct{})}
 
 	t.mu.Lock()
 	if t.closed {
@@ -306,8 +397,10 @@ func (t *Transport) conn(dst id.ID) (*outConn, error) {
 
 	// The reader goroutine turns the remote's messages on this connection
 	// into deliveries and, crucially, detects connection breakage: that is
-	// the TCP failure detector.
-	t.wg.Add(1)
+	// the TCP failure detector. The writer goroutine drains the bounded send
+	// queue (see Send).
+	t.wg.Add(2)
+	go t.writeLoop(dst, oc)
 	go func() {
 		defer t.wg.Done()
 		t.readLoop(oc.c)
@@ -330,6 +423,7 @@ func (t *Transport) dropConn(dst id.ID, oc *outConn) {
 	}
 	cb := t.onPeerDown
 	t.mu.Unlock()
+	oc.shut()
 	_ = oc.c.Close()
 	if watched && cb != nil {
 		cb(dst)
@@ -401,6 +495,19 @@ func (t *Transport) readLoop(c net.Conn) {
 		if t.isClosed() {
 			return
 		}
+		// The fault-injection seam: same contract as netsim.Sim.Intercept.
+		// On the wire the dispatch identity is m.Sender either way, so a
+		// replacement message fully controls what the stack observes.
+		if hook := t.cfg.Intercept; hook != nil {
+			repl, deliver := hook(t.self, &m)
+			if !deliver {
+				t.faultDropped.Add(1)
+				continue
+			}
+			if repl != nil {
+				m = *repl
+			}
+		}
 		t.onMessage(m.Sender, m)
 	}
 }
@@ -420,8 +527,10 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
+	outs := make([]*outConn, 0, len(t.conns))
 	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
 	for _, oc := range t.conns {
+		outs = append(outs, oc)
 		conns = append(conns, oc.c)
 	}
 	for c := range t.inbound {
@@ -432,6 +541,9 @@ func (t *Transport) Close() error {
 	t.mu.Unlock()
 
 	err := t.ln.Close()
+	for _, oc := range outs {
+		oc.shut() // release writer goroutines blocked on their queues
+	}
 	for _, c := range conns {
 		_ = c.Close()
 	}
