@@ -13,6 +13,15 @@
 // broadcasts and periodic view snapshots — including delivery/redundancy
 // counters and, when optimizing, the mean measured RTT of the active links —
 // are printed to stdout.
+//
+// With -topics the node additionally runs the topic pub/sub router over the
+// selected broadcast layer: it subscribes to the listed topics (printing
+// deliveries as "<< [topic]"), stdin lines publish to the first listed topic,
+// and -publish-rate drives a synthetic feed round-robin across the topics —
+// batched on the publish side per -batch / -flush:
+//
+//	hpv-node -listen 127.0.0.1:7001 -broadcast plumtree -topics 1,2
+//	hpv-node -join 127.0.0.1:7001 -broadcast plumtree -topics 1 -publish-rate 50
 package main
 
 import (
@@ -22,9 +31,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"hyparview/internal/pubsub"
 	"hyparview/internal/transport"
 )
 
@@ -49,9 +61,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal
 		broadcast = fs.String("broadcast", "flood", "broadcast layer: flood or plumtree")
 		optimize  = fs.Bool("optimize", false, "run the X-BOT optimizer over live RTT measurements")
 		probe     = fs.Duration("probe", 0, "RTT probe period with -optimize (0 = cycle period)")
+		topicsArg = fs.String("topics", "", "comma-separated topic IDs to subscribe to (enables the pub/sub router)")
+		pubRate   = fs.Float64("publish-rate", 0, "synthetic publishes per second, round-robin over -topics (0 = stdin only)")
+		batch     = fs.Int("batch", 16, "pub/sub publish-side batch size (messages per frame)")
+		flush     = fs.Duration("flush", 20*time.Millisecond, "pub/sub batch flush interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	topics, err := parseTopics(*topicsArg)
+	if err != nil {
+		return err
+	}
+	if *pubRate > 0 && len(topics) == 0 {
+		return fmt.Errorf("-publish-rate needs -topics to publish into")
 	}
 	var mode transport.BroadcastMode
 	switch *broadcast {
@@ -66,24 +89,43 @@ func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal
 	// Deliveries are printed from the agent goroutine; serialize them with
 	// the main loop's prints through a channel.
 	delivered := make(chan string, 16)
-	agent, err := transport.NewAgent(*listen, transport.AgentConfig{
+	echo := func(s string) {
+		select {
+		case delivered <- s:
+		default: // console writer stalled; drop the echo, not the node
+		}
+	}
+	cfg := transport.AgentConfig{
 		CyclePeriod: *period,
 		Broadcast:   mode,
 		Optimize:    *optimize,
 		ProbePeriod: *probe,
-		OnDeliver: func(p []byte) {
-			select {
-			case delivered <- string(p):
-			default: // console writer stalled; drop the echo, not the node
-			}
-		},
-	})
+		OnDeliver:   func(p []byte) { echo(string(p)) },
+	}
+	if len(topics) > 0 {
+		cfg.PubSub = &pubsub.Config{
+			MaxBatch:      *batch,
+			FlushInterval: uint64(*flush / time.Millisecond),
+		}
+	}
+	agent, err := transport.NewAgent(*listen, cfg)
 	if err != nil {
 		return err
 	}
 	defer agent.Close()
 	fmt.Fprintf(stdout, "node %v listening on %s (broadcast=%s optimize=%v)\n",
 		agent.Self(), agent.Addr(), mode, *optimize)
+	for _, tp := range topics {
+		if err := agent.Subscribe(tp, func(topic uint32, payload []byte, _ int) {
+			echo(fmt.Sprintf("[%d] %s", topic, payload))
+		}); err != nil {
+			return err
+		}
+	}
+	if len(topics) > 0 {
+		fmt.Fprintf(stdout, "pub/sub on topics %v (batch=%d flush=%v rate=%g/s)\n",
+			topics, *batch, *flush, *pubRate)
+	}
 
 	if *join != "" {
 		if err := agent.Join(*join); err != nil {
@@ -107,6 +149,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal
 		defer t.Stop()
 		viewTick = t.C
 	}
+	var pubTick <-chan time.Time
+	if *pubRate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *pubRate))
+		defer t.Stop()
+		pubTick = t.C
+	}
+	seq := 0
 
 	for {
 		select {
@@ -117,8 +166,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal
 			if line == "" {
 				continue
 			}
+			if len(topics) > 0 {
+				if err := agent.Publish(topics[0], []byte(line)); err != nil {
+					return fmt.Errorf("publish: %w", err)
+				}
+				continue
+			}
 			if err := agent.Broadcast([]byte(line)); err != nil {
 				return fmt.Errorf("broadcast: %w", err)
+			}
+		case <-pubTick:
+			topic := topics[seq%len(topics)]
+			payload := fmt.Sprintf("feed %d @ %s", seq, time.Now().Format(time.RFC3339Nano))
+			seq++
+			if err := agent.Publish(topic, []byte(payload)); err != nil {
+				return fmt.Errorf("publish: %w", err)
 			}
 		case m := <-delivered:
 			fmt.Fprintf(stdout, "<< %s\n", m)
@@ -149,5 +211,25 @@ func snapshot(agent *transport.Agent) string {
 			s += fmt.Sprintf(" rtt=%.0fµs", cost)
 		}
 	}
+	if ps, ok := agent.PubSubStats(); ok {
+		s += fmt.Sprintf(" pubsub[pub=%d frames=%d dlv=%d nosub=%d]",
+			ps.Published, ps.Frames, ps.Delivered, ps.NoSubscriber)
+	}
 	return s
+}
+
+// parseTopics splits a comma-separated topic list ("1,2,7") into topic IDs.
+func parseTopics(arg string) ([]uint32, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []uint32
+	for _, f := range strings.Split(arg, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+		if err != nil || v == 0 || v > uint64(pubsub.MaxTopic) {
+			return nil, fmt.Errorf("bad topic %q (want 1..%d)", f, pubsub.MaxTopic)
+		}
+		out = append(out, uint32(v))
+	}
+	return out, nil
 }

@@ -170,6 +170,55 @@ func TestTwoNodesPlumtreeOptimize(t *testing.T) {
 	<-contactDone
 }
 
+func TestRunBadTopics(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-topics", "1,zero"}, strings.NewReader(""), &out, nil); err == nil {
+		t.Error("malformed -topics accepted")
+	}
+	if err := run([]string{"-topics", "0"}, strings.NewReader(""), &out, nil); err == nil {
+		t.Error("topic 0 accepted (reserved for plain broadcasts)")
+	}
+	if err := run([]string{"-publish-rate", "10"}, strings.NewReader(""), &out, nil); err == nil {
+		t.Error("-publish-rate without -topics accepted")
+	}
+}
+
+// TestTwoNodesPubSub runs the pub/sub stack end to end over real sockets: a
+// subscriber node, a publisher node driving both a synthetic feed and a stdin
+// line into topic 1, and a snapshot carrying the router counters.
+func TestTwoNodesPubSub(t *testing.T) {
+	var contactOut syncBuffer
+	contactStdin, contactW := io.Pipe()
+	defer contactW.Close()
+	contactDone := make(chan error, 1)
+	go func() {
+		contactDone <- run([]string{"-listen", "127.0.0.1:0", "-views", "200ms",
+			"-cycle", "100ms", "-topics", "1,2"}, contactStdin, &contactOut, nil)
+	}()
+	waitContains(t, &contactOut, "pub/sub on topics [1 2]")
+	addr := extractAddr(t, contactOut.String())
+
+	var peerOut syncBuffer
+	peerStdin, peerW := io.Pipe()
+	peerDone := make(chan error, 1)
+	go func() {
+		peerDone <- run([]string{"-join", addr, "-views", "0", "-cycle", "100ms",
+			"-topics", "1", "-publish-rate", "40", "-flush", "10ms"},
+			peerStdin, &peerOut, nil)
+	}()
+	waitContains(t, &peerOut, "joined overlay")
+	waitContains(t, &contactOut, "<< [1] feed ") // synthetic publishes arrive
+	if _, err := peerW.Write([]byte("line into topic one\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitContains(t, &contactOut, "<< [1] line into topic one")
+	waitContains(t, &contactOut, "pubsub[") // snapshot shows router counters
+	_ = peerW.Close()
+	<-peerDone
+	_ = contactW.Close()
+	<-contactDone
+}
+
 // extractAddr pulls "listening on <addr>" out of the node banner.
 func extractAddr(t *testing.T, s string) string {
 	t.Helper()

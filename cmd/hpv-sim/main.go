@@ -14,7 +14,11 @@
 // under a latency model), adversarial (the fault-injection scenario suite:
 // mass failure, churn, partitions healing mid-broadcast, per-link
 // loss/reorder, Byzantine-lite tampering and replay, each checked against a
-// reliability envelope; a violated envelope exits non-zero), all.
+// reliability envelope; a violated envelope exits non-zero), workload (the
+// end-user pub/sub SLO experiment: a Zipfian topic workload over per-node
+// pubsub routers, batched vs unbatched arms, reporting end-user-weighted
+// delivery-latency percentiles, per-topic reliability and bytes-on-wire per
+// delivered message; an arm outside its envelope exits non-zero), all.
 // -experiment is accepted as an alias for -exp. The -broadcast=plumtree flag switches any
 // experiment's broadcast layer from flood/fanout gossip to Plumtree;
 // -latency=<model> runs any experiment in event-driven virtual time
@@ -53,7 +57,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hpv-sim", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|plumtree|xbot|adversarial|all")
+		exp        = fs.String("exp", "all", "experiment: fig1|fig1c|fig2|fig3|fig4|table1|fig5|plumtree|xbot|adversarial|workload|all")
 		expAlias   = fs.String("experiment", "", "alias for -exp")
 		n          = fs.Int("n", 10000, "cluster size (paper: 10000)")
 		seed       = fs.Uint64("seed", 1, "base random seed")
@@ -69,6 +73,8 @@ func run(args []string, out io.Writer) error {
 		pcts       = fs.String("pcts", "", "comma-separated failure percentages (default per experiment)")
 		asp        = fs.Int("asp-samples", 200, "BFS sources for avg shortest path (0 = exact)")
 		runs       = fs.Int("runs", 1, "independent seeded runs to aggregate for fig2/fig4")
+		events     = fs.Int("events", 2000, "publish events for the workload experiment")
+		topics     = fs.Int("topics", 100, "topic-space size for the workload experiment")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
@@ -218,6 +224,19 @@ func run(args []string, out io.Writer) error {
 			emit(t)
 			if !sim.AdversarialOK(points) {
 				return fmt.Errorf("adversarial envelope violated (see table)")
+			}
+		case "workload":
+			// End-user pub/sub SLOs: Zipfian topic workload over per-node
+			// pubsub routers, batched vs unbatched publish arms under one
+			// seed. The envelope (per-topic reliability ≥ 0.99, batching
+			// reducing hot-topic bytes per delivery) gates the run.
+			points, t := sim.Workload(opts, sim.WorkloadOptions{
+				Events: *events,
+				Topics: *topics,
+			})
+			emit(t)
+			if !sim.WorkloadOK(points) {
+				return fmt.Errorf("workload envelope violated (see table)")
 			}
 		case "xbot":
 			// Oblivious vs X-BOT-optimized overlay under a latency model

@@ -6,7 +6,9 @@
 // The program runs the same broadcast workload twice — once flooding every
 // active-view link, once over Plumtree broadcast trees with the X-BOT
 // RTT-driven optimizer — and compares their payload redundancy, then
-// demonstrates failure recovery on the tree-based stack.
+// demonstrates failure recovery on the tree-based stack. A final arm layers
+// the topic pub/sub router over Plumtree: a hot-topic burst from one producer
+// is batched into a handful of wire frames yet delivered to every subscriber.
 //
 //	go run ./examples/broadcast-tcp
 package main
@@ -37,7 +39,10 @@ func run() error {
 	if err := arm(hyparview.AgentBroadcastFlood, false); err != nil {
 		return err
 	}
-	return arm(hyparview.AgentBroadcastPlumtree, true)
+	if err := arm(hyparview.AgentBroadcastPlumtree, true); err != nil {
+		return err
+	}
+	return pubsubArm()
 }
 
 // arm builds one overlay with the given stack, measures a broadcast burst,
@@ -113,6 +118,61 @@ func arm(mode hyparview.AgentBroadcastMode, optimize bool) error {
 	}
 	waitFor(&delivered, 8, 3*time.Second)
 	fmt.Printf("         post-failure broadcast delivered at %d/%d survivors\n", delivered.Load(), 8)
+	return nil
+}
+
+// pubsubArm layers the topic pub/sub router over Plumtree on every agent:
+// all agents subscribe to topic 1, a single producer publishes a hot burst,
+// and publish-side batching folds the burst into far fewer wire frames than
+// messages — the same Router the simulator's workload experiment measures.
+func pubsubArm() error {
+	const msgs = 30
+	var delivered atomic.Int64
+	agents := make([]*hyparview.Agent, 0, n)
+	defer func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		a, err := hyparview.NewAgent("127.0.0.1:0", hyparview.AgentConfig{
+			CyclePeriod:   200 * time.Millisecond,
+			Broadcast:     hyparview.AgentBroadcastPlumtree,
+			PlumtreeTimer: 50 * time.Millisecond,
+			PubSub: &hyparview.PubSubConfig{
+				MaxBatch:      8,
+				FlushInterval: 20, // 20ms on the agent clock
+			},
+		})
+		if err != nil {
+			return err
+		}
+		agents = append(agents, a)
+	}
+	for _, a := range agents[1:] {
+		if err := a.Join(agents[0].Addr()); err != nil {
+			return err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	for _, a := range agents {
+		if err := a.Subscribe(1, func(_ uint32, _ []byte, _ int) {
+			delivered.Add(1)
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		if err := agents[0].Publish(1, []byte(fmt.Sprintf("headline %d", i))); err != nil {
+			return err
+		}
+	}
+	waitFor(&delivered, msgs*n, 5*time.Second)
+	st, _ := agents[0].PubSubStats()
+	fmt.Printf("pub/sub  topic 1: %d/%d deliveries, %d publishes batched into %d wire frames\n",
+		delivered.Load(), msgs*n, st.Published, st.Frames)
 	return nil
 }
 

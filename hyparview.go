@@ -70,6 +70,7 @@ import (
 	"hyparview/internal/id"
 	"hyparview/internal/netsim"
 	"hyparview/internal/plumtree"
+	"hyparview/internal/pubsub"
 	"hyparview/internal/scamp"
 	"hyparview/internal/sim"
 	"hyparview/internal/transport"
@@ -201,6 +202,29 @@ type PlumtreeConfig = plumtree.Config
 // Broadcaster is the contract both broadcast layers satisfy (flood/fanout
 // gossip and Plumtree); Cluster.Gossiper returns one.
 type Broadcaster = gossip.Broadcaster
+
+// PubSubConfig configures the topic pub/sub router that wraps either
+// broadcast layer with per-topic subscription dispatch and publish-side
+// batching. Set it on AgentConfig.PubSub (TCP) or ClusterOptions.PubSub
+// (simulation); the same router code runs unmodified on both runtimes.
+type PubSubConfig = pubsub.Config
+
+// PubSubHandler receives topic deliveries: topic, payload, and the gossip
+// hop count at delivery time.
+type PubSubHandler = pubsub.Handler
+
+// PubSubStats is a cumulative snapshot of a router's publish, batching and
+// delivery accounting.
+type PubSubStats = pubsub.Stats
+
+// PubSubRouter is the per-node topic pub/sub layer; Cluster.Router returns a
+// simulated node's instance, TCP agents expose theirs through
+// Agent.Subscribe / Agent.Publish / Agent.PubSubStats.
+type PubSubRouter = pubsub.Router
+
+// ErrNoPubSub is returned by an Agent's pub/sub methods when the agent was
+// built without AgentConfig.PubSub.
+var ErrNoPubSub = transport.ErrNoPubSub
 
 // LatencyModel describes per-link latencies for event-driven (virtual-time)
 // simulation: install one via ClusterOptions.LatencyModel to run any

@@ -95,16 +95,16 @@ func TestSteadyStateDeliveryZeroAlloc(t *testing.T) {
 func TestTrackerDeliverZeroAlloc(t *testing.T) {
 	tr := NewTracker()
 	round := tr.NextRound()
-	tr.Deliver(round, nil, 0)
+	tr.Deliver(round, 0, nil, 0)
 	if allocs := testing.AllocsPerRun(200, func() {
-		tr.Deliver(round, nil, 3)
+		tr.Deliver(round, 0, nil, 3)
 	}); allocs != 0 {
 		t.Fatalf("Tracker.Deliver allocates %.1f/op, want 0", allocs)
 	}
 	// Fresh rounds with Forget (the MeasureBurst pattern) stay flat too.
 	if allocs := testing.AllocsPerRun(200, func() {
 		r := tr.NextRound()
-		tr.Deliver(r, nil, 1)
+		tr.Deliver(r, 0, nil, 1)
 		tr.Forget(r)
 	}); allocs != 0 {
 		t.Fatalf("Tracker round lifecycle allocates %.1f/op, want 0", allocs)

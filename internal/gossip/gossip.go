@@ -81,8 +81,10 @@ type Config struct {
 }
 
 // Delivery is the callback invoked exactly once per locally delivered
-// broadcast.
-type Delivery func(round uint64, payload []byte, hops int)
+// broadcast. topic is the pub/sub topic tag of the round (0 for untagged
+// plain broadcasts; see msg.Message.Topic for the encoding of the batch
+// flag).
+type Delivery func(round uint64, topic uint32, payload []byte, hops int)
 
 // Broadcaster is the contract every broadcast-layer node satisfies: the
 // flood/fanout Node in this package and the tree-based node in
@@ -97,6 +99,12 @@ type Broadcaster interface {
 	// Broadcast emits a new message with a round identifier unique per
 	// message (provided by the Tracker or an application counter).
 	Broadcast(round uint64, payload []byte)
+
+	// BroadcastTopic emits a new message tagged with a pub/sub topic. The
+	// tag rides the round end to end (forwarding, caching, GRAFT
+	// retransmission) and reaches every Delivery callback unchanged.
+	// Broadcast(round, payload) is BroadcastTopic(round, 0, payload).
+	BroadcastTopic(round uint64, topic uint32, payload []byte)
 
 	// Counters returns the node's payload accounting: locally delivered
 	// messages (first copies, including the node's own broadcasts),
@@ -202,6 +210,13 @@ func (n *Node) OnCycle() { n.membership.OnCycle() }
 // from this node. Round identifiers must be unique per message (the
 // experiment harness or an application-level counter provides them).
 func (n *Node) Broadcast(round uint64, payload []byte) {
+	n.BroadcastTopic(round, 0, payload)
+}
+
+// BroadcastTopic emits a new topic-tagged message from this node (see
+// Broadcaster). The tag is a per-round scalar: it is copied into every
+// forwarded hop for free under the copy-on-write relay.
+func (n *Node) BroadcastTopic(round uint64, topic uint32, payload []byte) {
 	if n.hasLast && round == n.lastRound {
 		return
 	}
@@ -211,13 +226,14 @@ func (n *Node) Broadcast(round uint64, payload []byte) {
 	n.lastRound, n.hasLast = round, true
 	n.delivered++
 	if n.onDeliver != nil {
-		n.onDeliver(round, payload, 0)
+		n.onDeliver(round, topic, payload, 0)
 	}
 	n.fwdScratch = msg.Message{
 		Type:    msg.Gossip,
 		Sender:  n.env.Self(),
 		Round:   round,
 		Hops:    0,
+		Topic:   topic,
 		Payload: payload,
 	}
 	n.forward(id.Nil, &n.fwdScratch)
@@ -238,7 +254,7 @@ func (n *Node) receiveGossip(from id.ID, m *msg.Message) {
 	n.lastRound, n.hasLast = m.Round, true
 	n.delivered++
 	if n.onDeliver != nil {
-		n.onDeliver(m.Round, m.Payload, int(m.Hops)+1)
+		n.onDeliver(m.Round, m.Topic, m.Payload, int(m.Hops)+1)
 	}
 	// Copy-on-write relay: the struct copy in fwdScratch rewrites the
 	// per-hop scalars while sharing the frozen payload slice.

@@ -79,7 +79,7 @@ func TestBroadcastFloodsAllNeighbors(t *testing.T) {
 	env := newFakeEnv(1)
 	mem := &fakeMembership{neighbors: []id.ID{2, 3, 4}}
 	var delivered []uint64
-	n := New(env, mem, Config{Mode: Flood}, func(r uint64, _ []byte, _ int) {
+	n := New(env, mem, Config{Mode: Flood}, func(r uint64, _ uint32, _ []byte, _ int) {
 		delivered = append(delivered, r)
 	})
 	n.Broadcast(7, []byte("x"))
@@ -226,7 +226,7 @@ func TestResetSeenRedeliveryCountsAgain(t *testing.T) {
 	env := newFakeEnv(1)
 	mem := &fakeMembership{neighbors: []id.ID{2}}
 	var deliveries int
-	n := New(env, mem, Config{Mode: Flood}, func(uint64, []byte, int) { deliveries++ })
+	n := New(env, mem, Config{Mode: Flood}, func(uint64, uint32, []byte, int) { deliveries++ })
 	g := msg.Message{Type: msg.Gossip, Sender: 2, Round: 3}
 	n.Deliver(2, g)
 	n.Deliver(2, g)
@@ -252,9 +252,9 @@ func TestTracker(t *testing.T) {
 	if r1 == r2 {
 		t.Fatal("NextRound not unique")
 	}
-	tr.Deliver(r1, nil, 0)
-	tr.Deliver(r1, nil, 3)
-	tr.Deliver(r1, nil, 5)
+	tr.Deliver(r1, 0, nil, 0)
+	tr.Deliver(r1, 0, nil, 3)
+	tr.Deliver(r1, 0, nil, 5)
 	if got := tr.Delivered(r1); got != 3 {
 		t.Errorf("Delivered = %d, want 3", got)
 	}
@@ -282,7 +282,7 @@ func TestTracker(t *testing.T) {
 func TestTrackerReset(t *testing.T) {
 	tr := NewTracker()
 	r := tr.NextRound()
-	tr.Deliver(r, nil, 0)
+	tr.Deliver(r, 0, nil, 0)
 	tr.Reset()
 	if tr.Delivered(r) != 0 {
 		t.Error("Reset kept stats")

@@ -45,7 +45,7 @@ func (t *Tracker) NextRound() uint64 {
 
 // Deliver records one delivery of round after hops overlay hops. It is the
 // Delivery callback to install on gossip nodes.
-func (t *Tracker) Deliver(round uint64, _ []byte, hops int) {
+func (t *Tracker) Deliver(round uint64, _ uint32, _ []byte, hops int) {
 	rs, existed := t.rounds.Put(round)
 	if !existed {
 		*rs = roundStats{}

@@ -92,6 +92,47 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// WeightedPercentile returns the p-th percentile (0..100) of values under
+// per-sample weights: the smallest value v such that at least p% of the
+// total weight lies at or below v. It extends Percentile to populations
+// where one sample stands for many end users — the workload harness weights
+// each delivery by the subscribers served through the delivering node.
+// Non-positive weights are ignored; an empty or weightless sample yields 0.
+func WeightedPercentile(values, weights []float64, p float64) float64 {
+	if len(values) == 0 || len(values) != len(weights) {
+		return 0
+	}
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return values[idx[0]]
+	}
+	target := p / 100 * total
+	var acc float64
+	for _, i := range idx {
+		if weights[i] <= 0 {
+			continue
+		}
+		acc += weights[i]
+		if acc >= target {
+			return values[i]
+		}
+	}
+	return values[idx[len(idx)-1]]
+}
+
 // RMR computes the relative message redundancy of a broadcast (Plumtree
 // paper, §4.1): RMR = m/(n-1) - 1, where m is the number of payload messages
 // exchanged over the network during dissemination and n is the number of

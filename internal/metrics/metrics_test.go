@@ -134,3 +134,30 @@ func TestTableAlignment(t *testing.T) {
 		t.Errorf("alignment broken:\n%s", tb.String())
 	}
 }
+
+func TestWeightedPercentile(t *testing.T) {
+	values := []float64{10, 20, 30}
+	weights := []float64{1, 1, 98}
+	// 98% of the weight sits on 30: every percentile above ~2 lands there.
+	if got := WeightedPercentile(values, weights, 50); got != 30 {
+		t.Errorf("p50 = %v, want 30", got)
+	}
+	if got := WeightedPercentile(values, weights, 1); got != 10 {
+		t.Errorf("p1 = %v, want 10", got)
+	}
+	// Equal weights reduce to the unweighted rank semantics.
+	eq := []float64{1, 1, 1, 1}
+	vs := []float64{4, 1, 3, 2}
+	if got := WeightedPercentile(vs, eq, 100); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+	if got := WeightedPercentile(vs, eq, 0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := WeightedPercentile(nil, nil, 50); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	if got := WeightedPercentile(vs, []float64{0, 0, 0, 0}, 50); got != 0 {
+		t.Errorf("weightless = %v, want 0", got)
+	}
+}

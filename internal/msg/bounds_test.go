@@ -59,6 +59,21 @@ func TestDecodeForgedAddrLengthRejected(t *testing.T) {
 	}
 }
 
+func TestDecodeTruncatedTopicRejectedWithoutAllocation(t *testing.T) {
+	// A frame cut inside the 4-byte topic tag (the last header field) must
+	// fall to the fixed-header length check before any list count is read.
+	buf := Encode(Message{Type: Gossip, Sender: 1, Topic: 9, Payload: []byte("tp")})
+	short := buf[:headerSize-2]
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := Decode(short); !errors.Is(err, ErrShortBuffer) {
+			t.Fatalf("Decode error = %v, want ErrShortBuffer", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("truncated topic frame cost %.0f allocs/op, want 0", allocs)
+	}
+}
+
 func TestDecodeForgedCountsNeverOverAllocate(t *testing.T) {
 	// Sweep a forged big-endian uint16 through every offset of a small valid
 	// frame: whatever field it lands on, a short frame must never cost more

@@ -30,15 +30,16 @@ var (
 //	hops      uint16
 //	costOld   uint64
 //	costNew   uint64
+//	topic     uint32
 //	nNodes    uint16, then nNodes * uint64
 //	nEntries  uint16, then nEntries * (uint64 id + uint16 age)
 //	nPayload  uint32, then payload bytes
 //	nDir      uint16, then nDir * (uint64 id + uint16 addrLen + addr bytes)
 //
-// The fixed header is 46 bytes. maxList bounds list lengths defensively: no
+// The fixed header is 50 bytes. maxList bounds list lengths defensively: no
 // protocol in this repository exchanges more than a few dozen identifiers.
 const (
-	headerSize = 1 + 8 + 8 + 1 + 1 + 1 + 8 + 2 + 8 + 8
+	headerSize = 1 + 8 + 8 + 1 + 1 + 1 + 8 + 2 + 8 + 8 + 4
 	maxList    = 1 << 14
 	maxPayload = 1 << 26
 	maxAddr    = 1 << 10
@@ -55,6 +56,7 @@ func AppendEncode(dst []byte, m Message) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, m.Hops)
 	dst = binary.BigEndian.AppendUint64(dst, m.CostOld)
 	dst = binary.BigEndian.AppendUint64(dst, m.CostNew)
+	dst = binary.BigEndian.AppendUint32(dst, m.Topic)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Nodes)))
 	for _, n := range m.Nodes {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(n))
@@ -134,6 +136,8 @@ func Decode(buf []byte) (Message, int, error) {
 	off += 8
 	m.CostNew = binary.BigEndian.Uint64(buf[off:])
 	off += 8
+	m.Topic = binary.BigEndian.Uint32(buf[off:])
+	off += 4
 
 	nNodes := int(binary.BigEndian.Uint16(buf[off:]))
 	off += 2

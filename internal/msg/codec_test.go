@@ -22,6 +22,8 @@ func sampleMessages() []Message {
 		{Type: Shuffle, Sender: 6, Subject: 6, TTL: 4, Nodes: []id.ID{1, 2, 3, 4, 5, 6, 7, 8}},
 		{Type: ShuffleReply, Sender: 7, Nodes: []id.ID{10, 20, 30}},
 		{Type: Gossip, Sender: 8, Round: 12345, Hops: 7, Payload: []byte("hello world")},
+		{Type: Gossip, Sender: 8, Round: 12346, Topic: 42, Payload: []byte("topical")},
+		{Type: PlumtreeGossip, Sender: 8, Round: 12347, Topic: 1<<31 | 42, Payload: []byte("batched")},
 		{Type: GossipAck, Sender: 8, Round: 12345},
 		{Type: CyclonShuffle, Sender: 9, Entries: []Entry{{Node: 1, Age: 0}, {Node: 2, Age: 65535}}},
 		{Type: CyclonShuffleReply, Sender: 10, Entries: []Entry{{Node: 3, Age: 7}}},
@@ -133,9 +135,9 @@ func TestDecodeErrors(t *testing.T) {
 func TestDecodeRejectsHugeLists(t *testing.T) {
 	m := Message{Type: Shuffle, Sender: 1, Nodes: []id.ID{1}}
 	buf := Encode(m)
-	// Nodes count lives right after the 46-byte fixed header; forge it.
-	buf[46] = 0xff
-	buf[47] = 0xff
+	// Nodes count lives right after the fixed header; forge it.
+	buf[headerSize] = 0xff
+	buf[headerSize+1] = 0xff
 	if _, _, err := Decode(buf); err == nil {
 		t.Error("Decode accepted forged 65535-node list")
 	}
@@ -168,6 +170,7 @@ func quickMessage(r *rand.Rand) Message {
 		Accept:   r.Intn(2) == 0,
 		Round:    r.Uint64(),
 		Hops:     uint16(r.Intn(1 << 16)),
+		Topic:    r.Uint32(),
 		CostOld:  r.Uint64(),
 		CostNew:  r.Uint64(),
 	}

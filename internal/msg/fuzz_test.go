@@ -60,6 +60,26 @@ func FuzzDecode(f *testing.F) {
 	forgedDir[len(dir)-13] = 0x3f
 	forgedDir[len(dir)-12] = 0xff
 	f.Add(forgedDir)
+	// Pub/sub topic-field mutations. The topic tag is the last 4 header
+	// bytes; the batch flag (bit 31) marks the payload as a batch frame of
+	// (uvarint len, bytes) entries, decoded one layer up in pubsub. Seeds: a
+	// topic-tagged round, a well-formed 2-entry batch frame, a batch frame
+	// whose first uvarint claims far more bytes than the frame carries
+	// (truncated batch), a frame cut mid-topic-field, and a topic tag with
+	// every bit forced high (flag set, topic beyond MaxTopic).
+	topical := Encode(Message{Type: Gossip, Sender: 1, Round: 5, Topic: 7, Payload: []byte("tp")})
+	f.Add(topical)
+	batch := append([]byte{4}, "abcd"...)
+	batch = append(batch, 2, 'x', 'y')
+	f.Add(Encode(Message{Type: PlumtreeGossip, Sender: 1, Round: 6, Topic: 3 | 1<<31, Payload: batch}))
+	f.Add(Encode(Message{Type: Gossip, Sender: 2, Round: 7, Topic: 1 | 1<<31,
+		Payload: []byte{0xff, 0xff, 0xff, 0xff, 0x0f, 'a'}}))
+	f.Add(topical[:headerSize-2])
+	forgedTopic := append([]byte(nil), topical...)
+	for i := headerSize - 4; i < headerSize; i++ {
+		forgedTopic[i] = 0xff
+	}
+	f.Add(forgedTopic)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, n, err := Decode(data)
 		if err != nil {

@@ -96,6 +96,11 @@ const (
 	// TickXBotExpire sweeps X-BOT's outstanding swap handshakes, dropping
 	// the ones whose deadline has passed (internal/xbot).
 	TickXBotExpire
+	// TickPubSubFlush flushes the pub/sub router's pending publish batches
+	// (internal/pubsub): every topic buffer that has not reached its size
+	// threshold is broadcast now so batching trades bounded latency, never
+	// unbounded latency, for bytes.
+	TickPubSubFlush
 )
 
 var typeNames = [...]string{
@@ -217,6 +222,14 @@ type Message struct {
 	// Hops counts overlay hops travelled by a GOSSIP message, used by the
 	// evaluation to reproduce Table 1's "maximum hops to delivery".
 	Hops uint16
+
+	// Topic tags a GOSSIP/PLUMTREEGOSSIP round with the pub/sub topic it
+	// belongs to. 0 means untagged (plain broadcast); the high bit is
+	// reserved by internal/pubsub as its batch-frame flag, so application
+	// topics are < 1<<31. Like Round it is a scalar: per-hop forwarding
+	// copies it for free and the cached payload keeps its tag for GRAFT
+	// retransmission.
+	Topic uint32
 
 	// CostOld and CostNew carry the link costs measured by an X-BOT
 	// optimization initiator: the cost of the active link it wants to drop

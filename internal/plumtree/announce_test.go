@@ -71,7 +71,7 @@ func TestAnnouncementOpensGraftRecovery(t *testing.T) {
 	env := newFakeEnv(5)
 	mem := &fakeMembership{neighbors: []id.ID{9}}
 	var got []uint64
-	n := New(env, mem, Config{TimerDelay: 3}, func(r uint64, _ []byte, _ int) {
+	n := New(env, mem, Config{TimerDelay: 3}, func(r uint64, _ uint32, _ []byte, _ int) {
 		got = append(got, r)
 	})
 	// The announcement a repaired peer would send on link formation:

@@ -108,6 +108,7 @@ func (c Config) WithDefaults() Config {
 // rules on package peer) — retaining it costs nothing and copies nothing.
 type cached struct {
 	payload []byte
+	topic   uint32 // pub/sub topic tag, preserved across GRAFT retransmission
 	hops    uint16 // hop count at which this node delivered
 	parent  id.ID  // eager peer the first copy arrived from (Nil if local)
 }
@@ -291,18 +292,25 @@ func (n *Node) periodic() {
 // Broadcast emits a new message from this node: payload to eager peers,
 // announcement to lazy peers.
 func (n *Node) Broadcast(round uint64, payload []byte) {
+	n.BroadcastTopic(round, 0, payload)
+}
+
+// BroadcastTopic emits a new topic-tagged message from this node (see
+// gossip.Broadcaster). The tag is cached alongside the payload so GRAFT
+// retransmissions reproduce it.
+func (n *Node) BroadcastTopic(round uint64, topic uint32, payload []byte) {
 	if n.seen.Get(round) != nil {
 		return
 	}
 	n.reconcile()
 	c, _ := n.seen.Put(round)
-	*c = cached{payload: payload, hops: 0, parent: id.Nil}
+	*c = cached{payload: payload, topic: topic, hops: 0, parent: id.Nil}
 	n.lastRound, n.hasLast = round, true
 	n.delivered++
 	if n.onDeliver != nil {
-		n.onDeliver(round, payload, 0)
+		n.onDeliver(round, topic, payload, 0)
 	}
-	n.push(round, payload, 0, id.Nil)
+	n.push(round, topic, payload, 0, id.Nil)
 }
 
 // onGossip handles an eager payload push.
@@ -320,15 +328,15 @@ func (n *Node) onGossip(from id.ID, m msg.Message) {
 	}
 	hops := m.Hops + 1
 	c, _ := n.seen.Put(m.Round)
-	*c = cached{payload: m.Payload, hops: hops, parent: from}
+	*c = cached{payload: m.Payload, topic: m.Topic, hops: hops, parent: from}
 	n.lastRound, n.hasLast = m.Round, true
 	n.delivered++
 	n.miss.Remove(m.Round) // any in-flight timer finds the round delivered
 	if n.onDeliver != nil {
-		n.onDeliver(m.Round, m.Payload, int(hops))
+		n.onDeliver(m.Round, m.Topic, m.Payload, int(hops))
 	}
 	n.promote(from) // the link that delivered first is a tree edge
-	n.push(m.Round, m.Payload, hops, from)
+	n.push(m.Round, m.Topic, m.Payload, hops, from)
 }
 
 // onIHave handles a lazy announcement from a peer.
@@ -398,6 +406,7 @@ func (n *Node) onGraft(from id.ID, m msg.Message) {
 			Sender:  n.env.Self(),
 			Round:   m.Round,
 			Hops:    c.hops,
+			Topic:   c.topic,
 			Payload: c.payload,
 		}) {
 			n.forwarded++
@@ -473,13 +482,14 @@ func (n *Node) startTimer(round uint64, delay uint64) {
 // from the live set mid-loop), in ascending ID order so the simulator's
 // event trace stays deterministic; the payload slice is shared by every
 // outgoing copy (copy-on-write fan-out, see package peer).
-func (n *Node) push(round uint64, payload []byte, hops uint16, skip id.ID) {
+func (n *Node) push(round uint64, topic uint32, payload []byte, hops uint16, skip id.ID) {
 	self := n.env.Self()
 	n.msgScratch = msg.Message{
 		Type:    msg.PlumtreeGossip,
 		Sender:  self,
 		Round:   round,
 		Hops:    hops,
+		Topic:   topic,
 		Payload: payload,
 	}
 	n.peerScratch = n.eager.AppendTo(n.peerScratch[:0], skip)

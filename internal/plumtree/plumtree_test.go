@@ -90,7 +90,7 @@ func TestBroadcastStartsEagerToAllNeighbors(t *testing.T) {
 	env := newFakeEnv(1)
 	mem := &fakeMembership{neighbors: []id.ID{2, 3, 4}}
 	var delivered []uint64
-	n := New(env, mem, Config{}, func(r uint64, _ []byte, hops int) {
+	n := New(env, mem, Config{}, func(r uint64, _ uint32, _ []byte, hops int) {
 		if hops != 0 {
 			t.Errorf("local delivery hops = %d, want 0", hops)
 		}

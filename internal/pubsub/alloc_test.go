@@ -1,0 +1,120 @@
+package pubsub
+
+import (
+	"testing"
+
+	"hyparview/internal/gossip"
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+	"hyparview/internal/peer/peertest"
+	"hyparview/internal/rng"
+)
+
+// quietEnv is a non-recording environment for allocation pins: Send succeeds
+// and discards, so the measurement sees only the router and gossip layers.
+type quietEnv struct {
+	peertest.ManualScheduler
+	self id.ID
+	rand *rng.Rand
+}
+
+var _ peer.Env = (*quietEnv)(nil)
+
+func (e *quietEnv) Self() id.ID                   { return e.self }
+func (e *quietEnv) Rand() *rng.Rand               { return e.rand }
+func (e *quietEnv) Watch(id.ID)                   {}
+func (e *quietEnv) Unwatch(id.ID)                 {}
+func (e *quietEnv) Probe(id.ID) error             { return nil }
+func (e *quietEnv) Send(id.ID, msg.Message) error { return nil }
+
+func newQuietStack(cfg Config, neighbors ...id.ID) *Router {
+	env := &quietEnv{self: 1, rand: rng.New(1)}
+	mem := &fakeMembership{neighbors: neighbors}
+	if cfg.NextRound == nil {
+		var round uint64
+		cfg.NextRound = func() uint64 { round++; return round }
+	}
+	r := New(cfg)
+	inner := gossip.New(env, mem, gossip.Config{Mode: gossip.Flood}, r.OnBroadcast)
+	r.Bind(env, inner)
+	return r
+}
+
+// TestUnbatchedPublishDeliverZeroAlloc pins the acceptance criterion for the
+// pub/sub steady state: an unbatched Publish — local subscriber delivery plus
+// the flood fan-out over the overlay — costs zero allocations per message.
+func TestUnbatchedPublishDeliverZeroAlloc(t *testing.T) {
+	r := newQuietStack(Config{}, 2, 3, 4)
+	sink := 0
+	if err := r.Subscribe(7, func(_ uint32, p []byte, _ int) { sink += len(p) }); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("steady-state payload")
+	// Warm up: first publishes touch lazily initialized map buckets.
+	for i := 0; i < 64; i++ {
+		_ = r.Publish(7, payload)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = r.Publish(7, payload)
+	})
+	if allocs != 0 {
+		t.Errorf("unbatched publish cost %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBatchedPublishAppendZeroAlloc pins the batched hot path: a publish that
+// lands in an existing batch frame with spare capacity allocates nothing. The
+// per-flush frame allocation is the only one batching makes, amortized across
+// the batch.
+func TestBatchedPublishAppendZeroAlloc(t *testing.T) {
+	r := newQuietStack(Config{MaxBatch: 1 << 20, MaxBatchBytes: 1 << 20}, 2)
+	payload := []byte("batched")
+	_ = r.Publish(5, payload) // opens the frame (one-time buffer allocation)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = r.Publish(5, payload)
+	})
+	if allocs != 0 {
+		t.Errorf("batched append cost %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBatchDeliveryZeroAlloc pins the subscriber side: unpacking a batch
+// frame dispatches sub-slices that alias the frozen frame — no per-message
+// copies, no allocations.
+func TestBatchDeliveryZeroAlloc(t *testing.T) {
+	r := newQuietStack(Config{})
+	sink := 0
+	if err := r.Subscribe(9, func(_ uint32, p []byte, _ int) { sink += len(p) }); err != nil {
+		t.Fatal(err)
+	}
+	// A 4-entry frame: (len, bytes) * 4.
+	frame := []byte{3, 'a', 'b', 'c', 2, 'd', 'e', 1, 'f', 4, 'g', 'h', 'i', 'j'}
+	r.OnBroadcast(1, 9|batchFlag, frame, 2)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.OnBroadcast(1, 9|batchFlag, frame, 2)
+	})
+	if allocs != 0 {
+		t.Errorf("batch delivery cost %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestMalformedFrameRejectionZeroAlloc pins the hostile-input bound, matching
+// the msg codec's bounds tests: a frame whose entry over-claims its length is
+// rejected by arithmetic alone.
+func TestMalformedFrameRejectionZeroAlloc(t *testing.T) {
+	r := newQuietStack(Config{})
+	if err := r.Subscribe(9, func(uint32, []byte, int) {}); err != nil {
+		t.Fatal(err)
+	}
+	hostile := []byte{200, 1} // claims a 200-byte entry on a 2-byte frame
+	allocs := testing.AllocsPerRun(100, func() {
+		r.OnBroadcast(1, 9|batchFlag, hostile, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("hostile frame cost %.1f allocs/op, want 0", allocs)
+	}
+	if r.Stats().Malformed == 0 {
+		t.Error("hostile frame not counted as malformed")
+	}
+}

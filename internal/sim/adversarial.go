@@ -81,8 +81,24 @@ type AdversarialPoint struct {
 	Floor float64
 	// OK reports whether the scenario stayed inside its envelope.
 	OK bool
+	// FaultDropped and Redelivered surface the simulator's fault counters
+	// for the scenario's whole run: deliveries suppressed by the Intercept
+	// hook and messages re-injected through Redeliver (delays, duplicates,
+	// replay). Zero for scenarios whose fault class never touches the seam.
+	FaultDropped uint64
+	Redelivered  uint64
 	// Note records scenario-specific evidence (heal index, fault counters).
 	Note string
+}
+
+// stampSimFaults copies the cluster simulator's fault-injection counters
+// onto the point, so the table shows how much the injection seam actually
+// did during the scenario.
+func stampSimFaults(c *Cluster, p AdversarialPoint) AdversarialPoint {
+	st := c.Sim.Stats()
+	p.FaultDropped = st.FaultDropped
+	p.Redelivered = st.Redelivered
+	return p
 }
 
 // burstSeries probes msgs broadcasts back to back and returns the
@@ -142,9 +158,11 @@ func Adversarial(opts Options, msgs int) ([]AdversarialPoint, *metrics.Table) {
 	}
 	t := metrics.NewTable(
 		fmt.Sprintf("Adversarial: fault-injection envelopes (n=%d, msgs=%d)", opts.N, msgs),
-		"scenario", "class", "mean-rel", "final-rel", "rmr", "floor", "ok", "note")
+		"scenario", "class", "mean-rel", "final-rel", "rmr", "floor", "ok",
+		"fault-drop", "redeliver", "note")
 	for _, p := range points {
-		t.AddRow(p.Scenario, p.Class, p.Rel, p.FinalRel, p.RMR, p.Floor, p.OK, p.Note)
+		t.AddRow(p.Scenario, p.Class, p.Rel, p.FinalRel, p.RMR, p.Floor, p.OK,
+			p.FaultDropped, p.Redelivered, p.Note)
 	}
 	return points, t
 }
@@ -165,8 +183,8 @@ func advBaseline(opts Options, msgs int) AdversarialPoint {
 	c.Stabilize(opts.StabilizationCycles)
 	rels, rmr := burstSeries(c, msgs)
 	const floor = 0.999
-	return point("baseline", "none", rels, rmr, floor,
-		metrics.Mean(rels) >= floor, "no faults")
+	return stampSimFaults(c, point("baseline", "none", rels, rmr, floor,
+		metrics.Mean(rels) >= floor, "no faults"))
 }
 
 // advMassFailure is the paper's headline hostile case: 80% of the overlay
@@ -182,8 +200,8 @@ func advMassFailure(opts Options, msgs int) AdversarialPoint {
 	const floor = 0.99
 	heal := healIndex(rels)
 	ok := rels[len(rels)-1] >= floor && heal >= 0
-	return point("kill-80pct", "failure", rels, rmr, floor, ok,
-		fmt.Sprintf("killed=%d healed@msg=%d", killed, heal))
+	return stampSimFaults(c, point("kill-80pct", "failure", rels, rmr, floor, ok,
+		fmt.Sprintf("killed=%d healed@msg=%d", killed, heal)))
 }
 
 // advPoissonChurn drives a Poisson churn trace (memoryless joins and
@@ -226,9 +244,9 @@ func advPoissonChurn(opts Options, msgs int) AdversarialPoint {
 	k := float64(len(rels))
 	rmr := metrics.RMR((delivered-k+duplicates)/k, delivered/k)
 	const floor = 0.97
-	return point("churn-poisson", "churn", rels, rmr, floor,
+	return stampSimFaults(c, point("churn-poisson", "churn", rels, rmr, floor,
 		metrics.Mean(rels) >= floor,
-		fmt.Sprintf("joins=%d crashes=%d", joins, crashes))
+		fmt.Sprintf("joins=%d crashes=%d", joins, crashes)))
 }
 
 // advFlashCrowd admits 10% of the population as simultaneous joins (the
@@ -249,8 +267,8 @@ func advFlashCrowd(opts Options, msgs int) AdversarialPoint {
 	}
 	rels, rmr := burstSeries(c, msgs)
 	const floor = 0.99
-	return point("flash-crowd", "churn", rels, rmr, floor,
-		metrics.Mean(rels) >= floor, fmt.Sprintf("joined=%d", len(crowd)))
+	return stampSimFaults(c, point("flash-crowd", "churn", rels, rmr, floor,
+		metrics.Mean(rels) >= floor, fmt.Sprintf("joined=%d", len(crowd))))
 }
 
 // PartitionMidcastResult is the outcome of one partition-heal-mid-broadcast
@@ -270,6 +288,11 @@ type PartitionMidcastResult struct {
 	// DeliveredAtCut counts nodes (both sides) that had delivered when the
 	// partition landed — the proof the broadcast was genuinely mid-flight.
 	DeliveredAtCut int
+	// FaultDropped and Redelivered are the simulator's fault counters for
+	// the run: deliveries the partition hook suppressed, and re-injected
+	// messages.
+	FaultDropped uint64
+	Redelivered  uint64
 }
 
 // PartitionHealMidcast cuts an asymmetric partition (plan.MinorityFrac of
@@ -346,6 +369,8 @@ func PartitionHealMidcast(opts Options, plan faults.PartitionPlan) PartitionMidc
 	}
 	c.Tracker.Forget(round)
 	res.PhantomEagerEdges = c.PhantomEagerEdges()
+	res.FaultDropped = c.Sim.Stats().FaultDropped
+	res.Redelivered = c.Sim.Stats().Redelivered
 	return res
 }
 
@@ -384,12 +409,14 @@ func advPartitionMidcast(opts Options) AdversarialPoint {
 	const floor = 0.999
 	ok := res.Reliability >= floor && res.PhantomEagerEdges == 0
 	return AdversarialPoint{
-		Scenario: "partition-heal-midcast",
-		Class:    "partition",
-		Rel:      res.Reliability,
-		FinalRel: res.Reliability,
-		Floor:    floor,
-		OK:       ok,
+		Scenario:     "partition-heal-midcast",
+		Class:        "partition",
+		Rel:          res.Reliability,
+		FinalRel:     res.Reliability,
+		Floor:        floor,
+		OK:           ok,
+		FaultDropped: res.FaultDropped,
+		Redelivered:  res.Redelivered,
 		Note: fmt.Sprintf("minority=%d/%d delivered, phantom-eager=%d",
 			res.MinorityDelivered, res.MinoritySize, res.PhantomEagerEdges),
 	}
@@ -416,9 +443,9 @@ func advLossReorder(opts Options, msgs int) AdversarialPoint {
 	rels, rmr := burstSeries(c, msgs)
 	st := inj.Stats()
 	const floor = 0.99
-	return point("loss-reorder", "loss", rels, rmr, floor,
+	return stampSimFaults(c, point("loss-reorder", "loss", rels, rmr, floor,
 		metrics.Mean(rels) >= floor,
-		fmt.Sprintf("dropped=%d dup=%d delayed=%d", st.Dropped, st.Duplicated, st.Delayed))
+		fmt.Sprintf("dropped=%d dup=%d delayed=%d", st.Dropped, st.Duplicated, st.Delayed)))
 }
 
 // advByzantineTamper marks 10% of the population Byzantine: their SHUFFLE
@@ -457,9 +484,9 @@ func advByzantineTamper(opts Options, msgs int) AdversarialPoint {
 	st := inj.Stats()
 	const floor = 0.99
 	ok := metrics.Mean(rels) >= floor && st.Tampered > 0 && rejected > 0
-	return point("byzantine-tamper", "byzantine", rels, rmr, floor, ok,
+	return stampSimFaults(c, point("byzantine-tamper", "byzantine", rels, rmr, floor, ok,
 		fmt.Sprintf("byz=%d tampered=%d rejected=%d unsolicited=%d",
-			len(byz), st.Tampered, rejected, unsolicited))
+			len(byz), st.Tampered, rejected, unsolicited)))
 }
 
 // advReplay records broadcast traffic in flight and re-injects stale copies
@@ -479,6 +506,6 @@ func advReplay(opts Options, msgs int) AdversarialPoint {
 	rels, rmr := burstSeries(c, msgs)
 	const floor = 0.999
 	ok := metrics.Mean(rels) >= floor && rp.Replayed() > 0
-	return point("replay", "replay", rels, rmr, floor, ok,
-		fmt.Sprintf("replayed=%d", rp.Replayed()))
+	return stampSimFaults(c, point("replay", "replay", rels, rmr, floor, ok,
+		fmt.Sprintf("replayed=%d", rp.Replayed())))
 }

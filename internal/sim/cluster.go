@@ -22,6 +22,7 @@ import (
 	"hyparview/internal/netsim"
 	"hyparview/internal/peer"
 	"hyparview/internal/plumtree"
+	"hyparview/internal/pubsub"
 	"hyparview/internal/rng"
 	"hyparview/internal/scamp"
 	"hyparview/internal/xbot"
@@ -169,6 +170,14 @@ type Options struct {
 	// default (paper: 50).
 	StabilizationCycles int
 
+	// PubSub, when set, wraps every node's broadcaster in a pubsub.Router
+	// built from this configuration. A nil NextRound defaults to the
+	// cluster Tracker's allocator so published rounds share the global
+	// monotonic space; a nil Fallback defaults to the cluster's delivery
+	// callback so untagged broadcast measurements keep working through the
+	// wrapped stack. Per-node routers are reachable via Cluster.Router.
+	PubSub *pubsub.Config
+
 	// ShuffleInterval, when non-zero, switches HyParView clusters to the
 	// paper-faithful periodic mode: every node schedules its own shuffle
 	// round each ShuffleInterval virtual ticks (core.Config.ShuffleInterval)
@@ -212,6 +221,7 @@ type Cluster struct {
 	ids        []id.ID
 	gossipers  map[id.ID]gossip.Broadcaster
 	membership map[id.ID]peer.Membership
+	routers    map[id.ID]*pubsub.Router
 
 	// Virtual-time delivery tracking: per in-flight round, the clock at
 	// broadcast time and the delivery-latency aggregate. Only populated when
@@ -238,6 +248,7 @@ func NewCluster(proto Protocol, opts Options) *Cluster {
 		Tracker:    gossip.NewTracker(),
 		gossipers:  make(map[id.ID]gossip.Broadcaster, opts.N),
 		membership: make(map[id.ID]peer.Membership, opts.N),
+		routers:    make(map[id.ID]*pubsub.Router),
 		roundStart: make(map[uint64]uint64),
 		roundLat:   make(map[uint64]*latencyAgg),
 	}
@@ -335,6 +346,20 @@ func (c *Cluster) gossipConfig() gossip.Config {
 // newBroadcaster builds the broadcast-layer node selected by Opts.Broadcast
 // over the membership instance m.
 func (c *Cluster) newBroadcaster(env peer.Env, m peer.Membership) gossip.Broadcaster {
+	deliver := c.deliver
+	var router *pubsub.Router
+	if c.Opts.PubSub != nil {
+		cfg := *c.Opts.PubSub
+		if cfg.NextRound == nil {
+			cfg.NextRound = c.Tracker.NextRound
+		}
+		if cfg.Fallback == nil {
+			cfg.Fallback = c.deliver
+		}
+		router = pubsub.New(cfg)
+		deliver = router.OnBroadcast
+	}
+	var b gossip.Broadcaster
 	if c.Opts.Broadcast == BroadcastPlumtree {
 		pcfg := c.Opts.Plumtree
 		// Over HyParView and CyclonAcked, broadcast sends double as the
@@ -343,15 +368,26 @@ func (c *Cluster) newBroadcaster(env peer.Env, m peer.Membership) gossip.Broadca
 		if c.Protocol == HyParView || c.Protocol == CyclonAcked {
 			pcfg.ReportPeerDown = true
 		}
-		return plumtree.New(env, m, pcfg, c.deliver)
+		b = plumtree.New(env, m, pcfg, deliver)
+	} else {
+		b = gossip.New(env, m, c.gossipConfig(), deliver)
 	}
-	return gossip.New(env, m, c.gossipConfig(), c.deliver)
+	if router != nil {
+		router.Bind(env, b)
+		c.routers[env.Self()] = router
+		return router
+	}
+	return b
 }
+
+// Router returns the pub/sub router of nodeID, or nil when Options.PubSub is
+// unset or the node does not exist.
+func (c *Cluster) Router(nodeID id.ID) *pubsub.Router { return c.routers[nodeID] }
 
 // deliver is the Delivery callback installed on every broadcaster: it feeds
 // the reliability tracker and, in latency mode, aggregates virtual-time
 // delivery latencies for rounds the harness is measuring.
-func (c *Cluster) deliver(round uint64, payload []byte, hops int) {
+func (c *Cluster) deliver(round uint64, topic uint32, payload []byte, hops int) {
 	if c.timed {
 		if start, ok := c.roundStart[round]; ok {
 			agg := c.roundLat[round]
@@ -362,7 +398,7 @@ func (c *Cluster) deliver(round uint64, payload []byte, hops int) {
 			agg.samples = append(agg.samples, float64(c.Sim.Now()-start))
 		}
 	}
-	c.Tracker.Deliver(round, payload, hops)
+	c.Tracker.Deliver(round, topic, payload, hops)
 }
 
 // beginRound marks a measured broadcast's start on the virtual clock.

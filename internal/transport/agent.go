@@ -11,6 +11,7 @@ import (
 	"hyparview/internal/msg"
 	"hyparview/internal/peer"
 	"hyparview/internal/plumtree"
+	"hyparview/internal/pubsub"
 	"hyparview/internal/rng"
 	"hyparview/internal/xbot"
 )
@@ -87,6 +88,15 @@ type AgentConfig struct {
 	// positive, else 1s.
 	ProbePeriod time.Duration
 
+	// PubSub, when set, wraps the broadcast layer in a pubsub.Router built
+	// from this configuration and enables the agent's Subscribe/Publish API —
+	// the same Router the simulator's clusters run, over the real clock
+	// (Config.FlushInterval counts scheduler ticks of 1ms). A nil NextRound
+	// defaults to the node's random stream (collisions across 64 bits are
+	// negligible, as for Broadcast); a nil Fallback defaults to OnDeliver, so
+	// plain broadcasts keep reaching the callback through the wrapped stack.
+	PubSub *pubsub.Config
+
 	// OnDeliver is invoked (from the agent goroutine) once per delivered
 	// broadcast. May be nil.
 	OnDeliver func(payload []byte)
@@ -146,6 +156,7 @@ type Agent struct {
 	node        *core.Node
 	xnode       *xbot.Node     // non-nil when optimizing
 	ptree       *plumtree.Node // non-nil in BroadcastPlumtree mode
+	router      *pubsub.Router // non-nil when AgentConfig.PubSub is set
 	broadcaster gossip.Broadcaster
 	rand        *rng.Rand
 	rtt         *rttOracle
@@ -264,7 +275,21 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 
 	var deliver gossip.Delivery
 	if cb := cfg.OnDeliver; cb != nil {
-		deliver = func(_ uint64, payload []byte, _ int) { cb(payload) }
+		deliver = func(_ uint64, _ uint32, payload []byte, _ int) { cb(payload) }
+	}
+	if cfg.PubSub != nil {
+		// Two-phase router construction: the inner broadcaster takes the
+		// router's OnBroadcast as its delivery callback, then Bind (below)
+		// closes the loop — the same wiring the simulator's clusters use.
+		rcfg := *cfg.PubSub
+		if rcfg.NextRound == nil {
+			rcfg.NextRound = a.rand.Uint64
+		}
+		if rcfg.Fallback == nil {
+			rcfg.Fallback = deliver
+		}
+		a.router = pubsub.New(rcfg)
+		deliver = a.router.OnBroadcast
 	}
 	switch cfg.Broadcast {
 	case BroadcastPlumtree:
@@ -278,6 +303,10 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 	default:
 		a.broadcaster = gossip.New(env, member,
 			gossip.Config{Mode: gossip.Flood, ReportPeerDown: true}, deliver)
+	}
+	if a.router != nil {
+		a.router.Bind(env, a.broadcaster)
+		a.broadcaster = a.router
 	}
 
 	go a.loop()
@@ -463,6 +492,58 @@ func (a *Agent) Broadcast(payload []byte) error {
 	return a.call(func() { a.broadcaster.Broadcast(a.rand.Uint64(), payload) })
 }
 
+// ErrNoPubSub is returned by the pub/sub API on agents built without
+// AgentConfig.PubSub.
+var ErrNoPubSub = fmt.Errorf("transport: agent built without AgentConfig.PubSub")
+
+// Subscribe registers fn for topic on the agent's pub/sub router. Handlers
+// run on the agent goroutine with frozen, read-only payloads — copy before
+// retaining or crossing goroutines.
+func (a *Agent) Subscribe(topic uint32, fn pubsub.Handler) error {
+	if a.router == nil {
+		return ErrNoPubSub
+	}
+	var err error
+	if cerr := a.call(func() { err = a.router.Subscribe(topic, fn) }); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// Publish disseminates payload on topic over the overlay through the pub/sub
+// router (batched per AgentConfig.PubSub). The payload is frozen from this
+// call on, per the ownership rules on package peer.
+func (a *Agent) Publish(topic uint32, payload []byte) error {
+	if a.router == nil {
+		return ErrNoPubSub
+	}
+	var err error
+	if cerr := a.call(func() { err = a.router.Publish(topic, payload) }); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// FlushPubSub broadcasts every open batch frame now, ahead of the size
+// threshold or flush tick.
+func (a *Agent) FlushPubSub() error {
+	if a.router == nil {
+		return ErrNoPubSub
+	}
+	return a.call(func() { a.router.Flush() })
+}
+
+// PubSubStats returns the pub/sub router's counters; ok is false when the
+// agent runs without AgentConfig.PubSub.
+func (a *Agent) PubSubStats() (stats pubsub.Stats, ok bool) {
+	_ = a.call(func() {
+		if a.router != nil {
+			stats, ok = a.router.Stats(), true
+		}
+	})
+	return stats, ok
+}
+
 // Cycle triggers one membership cycle synchronously (manual ΔT driving,
 // for agents built with CyclePeriod zero). With Optimize set this includes
 // the X-BOT optimization attempt cadence; agents with a CyclePeriod run
@@ -574,6 +655,12 @@ func (a *Agent) MeanLinkCost() (mean float64, ok bool) {
 func (a *Agent) Close() error {
 	var err error
 	a.closeOnce.Do(func() {
+		if a.router != nil {
+			// Flush buffered publishes while the actor loop still runs, so a
+			// shutdown never strands a batch (the zero-loss half of the
+			// batching contract; OnPeerDown handles the overlay-change half).
+			_ = a.call(func() { a.router.Close() })
+		}
 		close(a.stop)
 		<-a.done
 		a.sched.wait()

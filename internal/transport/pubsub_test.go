@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyparview/internal/pubsub"
+)
+
+// TestAgentPubSubSoak runs the pub/sub router over real loopback sockets:
+// every agent subscribes per a fixed table, a hot topic is published in a
+// rapid batched burst and cold topics trickle, and every subscriber must
+// deliver every message exactly once (reliability 1.0) — the same Router the
+// simulator's workload experiment drives, unmodified, on the TCP runtime.
+func TestAgentPubSubSoak(t *testing.T) {
+	const (
+		n        = 6
+		hotMsgs  = 40
+		coldMsgs = 8
+	)
+	var agents []*Agent
+	var fallback atomic.Int64
+	var hotDelivered, coldDelivered atomic.Int64
+	t.Cleanup(func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	})
+	for i := 0; i < n; i++ {
+		a, err := NewAgent("127.0.0.1:0", AgentConfig{
+			CyclePeriod: 100 * time.Millisecond,
+			Seed:        uint64(i + 1),
+			PubSub: &pubsub.Config{
+				MaxBatch:      8,
+				MaxBatchBytes: 1 << 12,
+				FlushInterval: 10, // 10ms on the agent clock
+			},
+			OnDeliver: func([]byte) { fallback.Add(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, a)
+	}
+	for _, a := range agents[1:] {
+		if err := a.Join(agents[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(400 * time.Millisecond) // let shuffles symmetrize the overlay
+
+	// Subscription table: the hot topic everywhere, the cold topic on half
+	// the agents.
+	const hotTopic, coldTopic = 1, 2
+	coldSubs := 0
+	for i, a := range agents {
+		if err := a.Subscribe(hotTopic, func(_ uint32, payload []byte, _ int) {
+			if len(payload) > 0 {
+				hotDelivered.Add(1)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			coldSubs++
+			if err := a.Subscribe(coldTopic, func(uint32, []byte, int) {
+				coldDelivered.Add(1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Hot burst from one producer (the batching regime), cold trickle from
+	// another, plus one plain broadcast through the same wrapped stack.
+	for i := 0; i < hotMsgs; i++ {
+		if err := agents[0].Publish(hotTopic, []byte(fmt.Sprintf("hot-%d", i))); err != nil {
+			t.Fatalf("publish hot %d: %v", i, err)
+		}
+	}
+	for i := 0; i < coldMsgs; i++ {
+		if err := agents[1].Publish(coldTopic, []byte(fmt.Sprintf("cold-%d", i))); err != nil {
+			t.Fatalf("publish cold %d: %v", i, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := agents[2].Broadcast([]byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+
+	wantHot := int64(hotMsgs * n)
+	wantCold := int64(coldMsgs * coldSubs)
+	deadline := time.Now().Add(10 * time.Second)
+	for (hotDelivered.Load() < wantHot || coldDelivered.Load() < wantCold ||
+		fallback.Load() < int64(n)) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := hotDelivered.Load(); got != wantHot {
+		t.Errorf("hot topic: %d deliveries, want %d (reliability 1.0)", got, wantHot)
+	}
+	if got := coldDelivered.Load(); got != wantCold {
+		t.Errorf("cold topic: %d deliveries, want %d (reliability 1.0)", got, wantCold)
+	}
+	if got := fallback.Load(); got != int64(n) {
+		t.Errorf("plain broadcast reached %d OnDeliver callbacks, want %d", got, n)
+	}
+
+	// The hot burst must actually have batched: fewer frames than publishes.
+	st, ok := agents[0].PubSubStats()
+	if !ok {
+		t.Fatal("PubSubStats not available on a PubSub-configured agent")
+	}
+	if st.Published != hotMsgs {
+		t.Errorf("producer published %d, want %d", st.Published, hotMsgs)
+	}
+	if st.Frames >= st.Published {
+		t.Errorf("producer sent %d frames for %d publishes, batching never engaged",
+			st.Frames, st.Published)
+	}
+}
+
+// TestAgentPubSubDisabled pins the API contract on agents built without
+// AgentConfig.PubSub.
+func TestAgentPubSubDisabled(t *testing.T) {
+	a, err := NewAgent("127.0.0.1:0", AgentConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Publish(1, []byte("x")); err != ErrNoPubSub {
+		t.Errorf("Publish without PubSub: err = %v, want ErrNoPubSub", err)
+	}
+	if err := a.Subscribe(1, func(uint32, []byte, int) {}); err != ErrNoPubSub {
+		t.Errorf("Subscribe without PubSub: err = %v, want ErrNoPubSub", err)
+	}
+	if _, ok := a.PubSubStats(); ok {
+		t.Error("PubSubStats ok = true without PubSub")
+	}
+}

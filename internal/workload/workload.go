@@ -1,0 +1,320 @@
+// Package workload generates seeded, deterministic topic pub/sub workloads
+// for the experiment harness: a Zipfian topic popularity distribution, a
+// subscription assignment that models a configurable end-user population
+// behind the overlay nodes, and a publish schedule.
+//
+// The generator is pure data — it knows nothing about the simulator or the
+// transport. The harness maps its subscription assignment onto
+// pubsub.Router.Subscribe calls and replays its publish events through
+// Publish, in the simulator against virtual time or on sockets against the
+// real clock.
+//
+// # Population model
+//
+// The "millions of users" of the ROADMAP are not simulated as nodes: an
+// overlay node is a broker/edge server, and each (node, topic) subscription
+// carries a weight — the number of end-users served through that node for
+// that topic. Topic popularity is Zipfian with exponent Config.Exponent
+// (s ≈ 1.0 reproduces the classic topic-popularity skew measured in pub/sub
+// traces), applied twice: to the subscriber population (hot topics are
+// subscribed on more nodes, and by more users per node) and to the publish
+// schedule (hot topics receive proportionally more messages). End-user SLO
+// percentiles weight each delivery sample by the users behind it, so one
+// delivery on a hot edge counts for the thousands of users it serves.
+// Publishes originate from a small fixed producer set per topic
+// (Config.Producers) — feeds live on specific nodes — so hot topics
+// concentrate high per-node publish rates, the regime publish-side batching
+// amortizes.
+//
+// # Determinism
+//
+// Everything derives from Config.Seed through internal/rng streams split per
+// concern, so the same configuration yields byte-identical subscription
+// tables and publish traces (TraceBytes pins this), independent of map
+// iteration or wall time.
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"hyparview/internal/rng"
+)
+
+// Config parameterizes a workload. Zero fields take the defaults documented
+// per field.
+type Config struct {
+	// Seed is the root of every random stream in the workload.
+	Seed uint64
+
+	// Nodes is the overlay population the subscriptions map onto. Required.
+	Nodes int
+
+	// Topics is the topic-space size (default 100). Topic identifiers are
+	// 1..Topics, rank-ordered by popularity: topic 1 is the hottest.
+	Topics int
+
+	// Exponent is the Zipf exponent s (default 1.0): topic k's popularity
+	// share is proportional to 1/k^s.
+	Exponent float64
+
+	// Subscribers is the modeled end-user population (default 1e6). It is
+	// distributed over topics by popularity and over each topic's
+	// subscriber nodes evenly, becoming the per-delivery SLO weights.
+	Subscribers uint64
+
+	// SubscriberFraction is the fraction of nodes subscribing to the
+	// hottest topic (default 0.5); colder topics scale down with their
+	// popularity share, floored at MinSubscribers nodes.
+	SubscriberFraction float64
+
+	// MinSubscribers floors the subscriber-node count of every topic
+	// (default 3), so the coldest tail still has someone to deliver to.
+	MinSubscribers int
+
+	// PayloadBytes is the application payload size of every published
+	// message (default 64). The harness prepends its own timestamp header.
+	PayloadBytes int
+
+	// Producers is the number of publisher nodes per topic (default 3,
+	// clamped to Nodes). Each topic's publishes come from its own small
+	// fixed producer set — application feeds live on specific nodes — so a
+	// hot topic concentrates a high publish rate on few nodes, the regime
+	// publish-side batching targets.
+	Producers int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Topics <= 0 {
+		c.Topics = 100
+	}
+	if c.Exponent == 0 {
+		c.Exponent = 1.0
+	}
+	if c.Subscribers == 0 {
+		c.Subscribers = 1_000_000
+	}
+	if c.SubscriberFraction == 0 {
+		c.SubscriberFraction = 0.5
+	}
+	if c.MinSubscribers <= 0 {
+		c.MinSubscribers = 3
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 64
+	}
+	if c.Producers <= 0 {
+		c.Producers = 3
+	}
+	if c.Producers > c.Nodes && c.Nodes > 0 {
+		c.Producers = c.Nodes
+	}
+	return c
+}
+
+// Event is one publish in the schedule: node publishes the next message on
+// topic.
+type Event struct {
+	Node  int
+	Topic uint32
+}
+
+// Workload is a fully materialized workload: popularity distribution,
+// subscription assignment, and a publish-schedule stream.
+type Workload struct {
+	cfg Config
+
+	cdf    []float64 // cdf[k] = P(topic rank <= k+1)
+	shares []float64 // per-topic popularity share, rank order
+
+	// subs[n] is node n's sorted topic list; weights[t-1] is the end-user
+	// count each subscriber of topic t serves.
+	subs    [][]uint32
+	weights []float64
+	nsubs   []int // subscriber-node count per topic, rank order
+
+	// prods[t-1] is topic t's fixed producer-node set.
+	prods [][]int
+
+	sched *rng.Rand // publish-schedule stream
+}
+
+// New materializes a workload from cfg.
+func New(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		panic("workload: Config.Nodes is required")
+	}
+	w := &Workload{cfg: cfg}
+	w.buildDistribution()
+	root := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	w.buildSubscriptions(root.Split())
+	w.buildProducers(root.Split())
+	w.sched = root.Split()
+	return w
+}
+
+// buildDistribution precomputes the Zipf shares and CDF over topic ranks.
+func (w *Workload) buildDistribution() {
+	k := w.cfg.Topics
+	w.shares = make([]float64, k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		s := 1.0 / math.Pow(float64(i+1), w.cfg.Exponent)
+		w.shares[i] = s
+		total += s
+	}
+	w.cdf = make([]float64, k)
+	acc := 0.0
+	for i := 0; i < k; i++ {
+		w.shares[i] /= total
+		acc += w.shares[i]
+		w.cdf[i] = acc
+	}
+	w.cdf[k-1] = 1.0 // close the tail against FP drift
+}
+
+// buildSubscriptions assigns each topic its subscriber nodes and weights.
+func (w *Workload) buildSubscriptions(r *rng.Rand) {
+	cfg := w.cfg
+	w.subs = make([][]uint32, cfg.Nodes)
+	w.weights = make([]float64, cfg.Topics)
+	w.nsubs = make([]int, cfg.Topics)
+	perm := make([]int, cfg.Nodes)
+	for t := 0; t < cfg.Topics; t++ {
+		// Subscriber-node count scales with popularity relative to rank 1.
+		frac := cfg.SubscriberFraction * w.shares[t] / w.shares[0]
+		count := int(math.Round(frac * float64(cfg.Nodes)))
+		if count < cfg.MinSubscribers {
+			count = cfg.MinSubscribers
+		}
+		if count > cfg.Nodes {
+			count = cfg.Nodes
+		}
+		// Deterministic partial Fisher–Yates: the first count entries of a
+		// fresh permutation are this topic's subscriber nodes.
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := 0; i < count; i++ {
+			j := i + r.Intn(cfg.Nodes-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			w.subs[perm[i]] = append(w.subs[perm[i]], uint32(t+1))
+		}
+		w.nsubs[t] = count
+		w.weights[t] = float64(cfg.Subscribers) * w.shares[t] / float64(count)
+	}
+	for _, ts := range w.subs {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
+}
+
+// buildProducers picks each topic's fixed producer-node set: the first
+// Producers entries of a fresh deterministic permutation per topic.
+func (w *Workload) buildProducers(r *rng.Rand) {
+	cfg := w.cfg
+	w.prods = make([][]int, cfg.Topics)
+	perm := make([]int, cfg.Nodes)
+	for t := 0; t < cfg.Topics; t++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		set := make([]int, cfg.Producers)
+		for i := 0; i < cfg.Producers; i++ {
+			j := i + r.Intn(cfg.Nodes-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			set[i] = perm[i]
+		}
+		w.prods[t] = set
+	}
+}
+
+// Producers returns topic's fixed producer-node set. The slice is owned by
+// the workload; callers must not mutate it.
+func (w *Workload) Producers(topic uint32) []int { return w.prods[topic-1] }
+
+// Subscriptions returns node n's topic list, sorted ascending. The slice is
+// owned by the workload; callers must not mutate it.
+func (w *Workload) Subscriptions(n int) []uint32 { return w.subs[n] }
+
+// SubscriberNodes returns how many nodes subscribe to topic.
+func (w *Workload) SubscriberNodes(topic uint32) int { return w.nsubs[topic-1] }
+
+// Weight returns the end-user count behind each subscribing node of topic —
+// the SLO weight of one delivery on that topic.
+func (w *Workload) Weight(topic uint32) float64 { return w.weights[topic-1] }
+
+// Share returns topic's popularity share (sums to 1 over the topic space).
+func (w *Workload) Share(topic uint32) float64 { return w.shares[topic-1] }
+
+// PayloadBytes returns the configured application payload size.
+func (w *Workload) PayloadBytes() int { return w.cfg.PayloadBytes }
+
+// Topics returns the topic-space size; identifiers are 1..Topics.
+func (w *Workload) Topics() int { return w.cfg.Topics }
+
+// SampleTopic draws one topic from the Zipfian popularity distribution using
+// the workload's schedule stream: binary search over the precomputed CDF.
+func (w *Workload) sampleTopic() uint32 {
+	u := w.sched.Float64()
+	lo, hi := 0, len(w.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo + 1)
+}
+
+// Next draws the next publish event: a Zipf-popular topic published by one
+// of the topic's fixed producer nodes, drawn uniformly within the set.
+// Successive calls advance the deterministic schedule.
+func (w *Workload) Next() Event {
+	topic := w.sampleTopic()
+	set := w.prods[topic-1]
+	return Event{
+		Node:  set[w.sched.Intn(len(set))],
+		Topic: topic,
+	}
+}
+
+// Events materializes the next n publish events of the schedule.
+func (w *Workload) Events(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = w.Next()
+	}
+	return out
+}
+
+// TraceBytes serializes a schedule prefix plus the full subscription
+// assignment into a canonical byte string. Two workloads with the same
+// configuration produce identical bytes — the determinism pin the repository
+// maintains for every seeded component (same seed ⇒ byte-identical traces).
+func TraceBytes(cfg Config, events int) []byte {
+	w := New(cfg)
+	var buf []byte
+	buf = binary.BigEndian.AppendUint64(buf, cfg.Seed)
+	for n := 0; n < w.cfg.Nodes; n++ {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(w.subs[n])))
+		for _, t := range w.subs[n] {
+			buf = binary.BigEndian.AppendUint32(buf, t)
+		}
+	}
+	for t := 0; t < w.cfg.Topics; t++ {
+		for _, n := range w.prods[t] {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(n))
+		}
+	}
+	for i := 0; i < events; i++ {
+		ev := w.Next()
+		buf = binary.BigEndian.AppendUint64(buf, uint64(ev.Node))
+		buf = binary.BigEndian.AppendUint32(buf, ev.Topic)
+	}
+	return buf
+}

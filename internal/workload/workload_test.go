@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{Seed: 7, Nodes: 200, Topics: 50, Exponent: 1.0, Subscribers: 1_000_000}
+}
+
+// TestDeterminismPin is the repository-wide contract applied to the load
+// generator: the same seed yields byte-identical subscription tables and
+// publish traces.
+func TestDeterminismPin(t *testing.T) {
+	a := TraceBytes(testConfig(), 5000)
+	b := TraceBytes(testConfig(), 5000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different workload traces")
+	}
+	cfg := testConfig()
+	cfg.Seed = 8
+	if bytes.Equal(a, TraceBytes(cfg, 5000)) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestZipfSharesAreNormalizedAndRankOrdered(t *testing.T) {
+	w := New(testConfig())
+	sum := 0.0
+	prev := math.Inf(1)
+	for k := 1; k <= w.Topics(); k++ {
+		s := w.Share(uint32(k))
+		if s <= 0 || s > prev {
+			t.Fatalf("share(%d) = %g, want positive and non-increasing (prev %g)", k, s, prev)
+		}
+		prev = s
+		sum += s
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("shares sum to %g, want 1", sum)
+	}
+	// s=1.0 over 50 topics: rank 1 holds 1/H(50) ≈ 22% of the traffic.
+	if hot := w.Share(1); hot < 0.15 || hot > 0.30 {
+		t.Fatalf("hot-topic share = %g, outside the Zipf(1.0) envelope", hot)
+	}
+}
+
+func TestScheduleFollowsPopularity(t *testing.T) {
+	w := New(testConfig())
+	counts := make([]int, w.Topics()+1)
+	const n = 200_000
+	producers := make(map[uint32]map[int]bool)
+	for i := 0; i < n; i++ {
+		ev := w.Next()
+		if ev.Node < 0 || ev.Node >= 200 {
+			t.Fatalf("publisher node %d out of range", ev.Node)
+		}
+		if producers[ev.Topic] == nil {
+			producers[ev.Topic] = make(map[int]bool)
+		}
+		producers[ev.Topic][ev.Node] = true
+		if ev.Topic < 1 || ev.Topic > uint32(w.Topics()) {
+			t.Fatalf("topic %d out of range", ev.Topic)
+		}
+		counts[ev.Topic]++
+	}
+	for _, k := range []uint32{1, 2, 10, 50} {
+		got := float64(counts[k]) / n
+		want := w.Share(k)
+		if math.Abs(got-want) > 0.01+want*0.15 {
+			t.Errorf("topic %d frequency %g, want ≈ %g", k, got, want)
+		}
+	}
+	// Every topic publishes only from its fixed producer set (default 3).
+	for topic, nodes := range producers {
+		set := map[int]bool{}
+		for _, p := range w.Producers(topic) {
+			set[p] = true
+		}
+		if len(set) != 3 {
+			t.Fatalf("topic %d has %d producers, want 3", topic, len(set))
+		}
+		for node := range nodes {
+			if !set[node] {
+				t.Errorf("topic %d published from %d, outside its producer set", topic, node)
+			}
+		}
+	}
+}
+
+func TestSubscriptionAssignment(t *testing.T) {
+	cfg := testConfig()
+	w := New(cfg)
+	seen := make([]int, w.Topics()+1)
+	for n := 0; n < cfg.Nodes; n++ {
+		ts := w.Subscriptions(n)
+		for i, tp := range ts {
+			if i > 0 && ts[i-1] >= tp {
+				t.Fatalf("node %d topics not sorted/unique: %v", n, ts)
+			}
+			seen[tp]++
+		}
+	}
+	users := 0.0
+	for k := 1; k <= w.Topics(); k++ {
+		tp := uint32(k)
+		if seen[k] != w.SubscriberNodes(tp) {
+			t.Fatalf("topic %d: assignment says %d nodes, accessor says %d", k, seen[k], w.SubscriberNodes(tp))
+		}
+		if seen[k] < 3 {
+			t.Fatalf("topic %d has %d subscriber nodes, floor is 3", k, seen[k])
+		}
+		if w.Weight(tp) <= 0 {
+			t.Fatalf("topic %d weight %g", k, w.Weight(tp))
+		}
+		users += w.Weight(tp) * float64(seen[k])
+	}
+	// The weights reconstruct the modeled end-user population.
+	if math.Abs(users-1_000_000) > 1 {
+		t.Fatalf("weighted population %g, want 1e6", users)
+	}
+	// The hottest topic reaches about SubscriberFraction of the overlay.
+	if hot := w.SubscriberNodes(1); hot < 80 || hot > 120 {
+		t.Fatalf("hot topic on %d/200 nodes, want ≈ 100", hot)
+	}
+}
