@@ -9,6 +9,7 @@ package netsim
 //	go test ./internal/netsim/ -run '^$' -bench BenchmarkEngine -benchtime 20x
 
 import (
+	"fmt"
 	"testing"
 
 	"hyparview/internal/id"
@@ -33,8 +34,10 @@ func (p *ringProc) Deliver(_ id.ID, m msg.Message) {
 
 func (p *ringProc) OnCycle() {}
 
-func buildRing(n int) *Sim {
-	s := New(1)
+func buildRing(n int) *Sim { return buildRingSharded(n, 1) }
+
+func buildRingSharded(n, shards int) *Sim {
+	s := NewSharded(1, shards)
 	for i := 0; i < n; i++ {
 		nodeID := id.ID(i + 1)
 		next := id.ID((i+1)%n + 1)
@@ -48,9 +51,11 @@ func buildRing(n int) *Sim {
 // benchEngine measures raw engine throughput: each iteration injects msgs
 // TTL-hop messages spread around the ring and drains them, reporting
 // deliveries per second.
-func benchEngine(b *testing.B, n int) {
+func benchEngine(b *testing.B, n int) { benchEngineSharded(b, n, 1) }
+
+func benchEngineSharded(b *testing.B, n, shards int) {
 	const msgs, hops = 1024, 64
-	s := buildRing(n)
+	s := buildRingSharded(n, shards)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -68,3 +73,18 @@ func benchEngine(b *testing.B, n int) {
 
 func BenchmarkEngine10k(b *testing.B)  { benchEngine(b, 10_000) }
 func BenchmarkEngine100k(b *testing.B) { benchEngine(b, 100_000) }
+
+// BenchmarkEngine1M compares the engines at the million-node scale the
+// ROADMAP targets: the single-shard heap engine as the reference, then the
+// sharded wave/barrier engine. The shard counts are fixed (not GOMAXPROCS-
+// derived) so recorded numbers are comparable across machines.
+func BenchmarkEngine1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-node engine benchmark skipped in -short mode")
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchEngineSharded(b, 1_000_000, shards)
+		})
+	}
+}

@@ -40,6 +40,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"hyparview/internal/id"
 	"hyparview/internal/msg"
@@ -155,6 +156,24 @@ type Sim struct {
 	now uint64 // virtual clock
 	seq uint64 // scheduling sequence for deterministic tie-breaking
 
+	// shards, when non-empty, switches the simulator to the sharded
+	// wave/barrier engine (see shards.go): the heap/slab machinery above is
+	// idle and every event lives in per-shard time buckets instead. Built by
+	// NewSharded; nil for the classic single-shard engine.
+	shards []shard
+	// inWave is true while shard goroutines are delivering a wave: endpoint
+	// sends and timer registrations record into per-shard output logs
+	// instead of sequencing immediately.
+	inWave bool
+	// instantActive is true while runInstant is processing an instant:
+	// delay-0 traffic joins the instant's next wave rather than a bucket.
+	instantActive bool
+	// waveWG is reused across waves so the parallel fan-out allocates
+	// nothing in steady state; waveParallel gates the fan-out on a
+	// multi-P runtime (captured at NewSharded).
+	waveWG       sync.WaitGroup
+	waveParallel bool
+
 	// watchers maps a watched node to the set of nodes holding an open
 	// connection to it; when it fails, live watchers implementing
 	// peer.FailureObserver receive OnPeerDown (a TCP reset, delivered at
@@ -236,6 +255,7 @@ type Endpoint struct {
 	self id.ID
 	idx  int32
 	rand *rng.Rand
+	sh   *shard // owning shard under the wave engine; nil single-shard
 }
 
 var _ peer.Env = (*Endpoint)(nil)
@@ -251,6 +271,9 @@ func (e *Endpoint) Rand() *rng.Rand { return e.rand }
 // handed on by pointer internally: one struct copy lands in the event slab
 // and no others are made.
 func (e *Endpoint) Send(dst id.ID, m msg.Message) error {
+	if e.sh != nil {
+		return e.sim.sendSharded(e.sh, e.self, dst, &m)
+	}
 	return e.sim.send(e.self, dst, &m)
 }
 
@@ -258,6 +281,9 @@ func (e *Endpoint) Send(dst id.ID, m msg.Message) error {
 // for the broadcast fan-out paths that push one frozen message to every
 // neighbor.
 func (e *Endpoint) SendRef(dst id.ID, m *msg.Message) error {
+	if e.sh != nil {
+		return e.sim.sendSharded(e.sh, e.self, dst, m)
+	}
 	return e.sim.send(e.self, dst, m)
 }
 
@@ -266,7 +292,11 @@ func (e *Endpoint) Probe(dst id.ID) error {
 	s := e.sim
 	ti, ok := s.nodeIndex(dst)
 	if !ok || !s.aliveAt(ti) || !s.reachable(e.self, dst) {
-		s.stats.SendFailures++
+		if e.sh != nil && s.inWave {
+			e.sh.stats.sendFailures++ // shard-local: Probe may run mid-wave
+		} else {
+			s.stats.SendFailures++
+		}
 		return fmt.Errorf("probe %v: %w", dst, peer.ErrPeerDown)
 	}
 	return nil
@@ -280,6 +310,10 @@ func (e *Endpoint) Now() uint64 { return e.sim.now }
 // traffic already scheduled at the current instant when delay is zero.
 // Infallible: timers bypass the MaxQueue limit (see schedule).
 func (e *Endpoint) After(delay uint64, m msg.Message) {
+	if e.sh != nil {
+		e.sim.scheduleSharded(e.sh, e.self, e.idx, true, delay, &m)
+		return
+	}
 	_ = e.sim.schedule(e.self, e.idx, kindTimer, delay, 0, &m, false)
 }
 
@@ -291,12 +325,23 @@ func (e *Endpoint) Every(interval uint64, m msg.Message) {
 	if interval == 0 {
 		interval = 1
 	}
+	if e.sh != nil {
+		e.sim.scheduleSharded(e.sh, e.self, e.idx, false, interval, &m)
+		return
+	}
 	_ = e.sim.schedule(e.self, e.idx, kindPeriodic, interval, interval, &m, false)
 }
 
 // Watch registers this node for failure notifications about dst, modelling
 // an open TCP connection.
 func (e *Endpoint) Watch(dst id.ID) {
+	if e.sh != nil {
+		// Registration lives on the watcher's own shard: only this node
+		// (hence only this shard's goroutine) ever writes it, so watches
+		// taken mid-wave need no lock.
+		e.sh.watch(e.self, dst)
+		return
+	}
 	ws := e.sim.watchers[dst]
 	if ws == nil {
 		ws = make(map[id.ID]struct{}, 4)
@@ -307,6 +352,10 @@ func (e *Endpoint) Watch(dst id.ID) {
 
 // Unwatch cancels a Watch, modelling closing the connection.
 func (e *Endpoint) Unwatch(dst id.ID) {
+	if e.sh != nil {
+		e.sh.unwatch(e.self, dst)
+		return
+	}
 	if ws := e.sim.watchers[dst]; ws != nil {
 		delete(ws, e.self)
 		if len(ws) == 0 {
@@ -331,6 +380,9 @@ func (s *Sim) Add(nodeID id.ID, factory func(peer.Env) peer.Process) {
 		s.dense = false
 	}
 	ep := &Endpoint{sim: s, self: nodeID, idx: idx, rand: s.rand.Split()}
+	if s.sharded() {
+		ep.sh = s.shardOf(idx)
+	}
 	s.nodes = append(s.nodes, simNode{id: nodeID, rand: ep.rand, alive: true})
 	s.index[nodeID] = idx
 	for int(idx)>>6 >= len(s.aliveBits) {
@@ -385,6 +437,11 @@ func (s *Sim) send(from, to id.ID, m *msg.Message) error {
 // as down, matching Send; a node dying afterwards drops the copy at delivery
 // time like any in-flight message.
 func (s *Sim) Redeliver(from, to id.ID, m msg.Message, delay uint64) error {
+	if s.sharded() {
+		// Hooks run on the coordinator (the wave pre-pass), never on shard
+		// goroutines, so re-entry here always sequences immediately.
+		return s.redeliverSharded(from, to, &m, delay)
+	}
 	ti, ok := s.nodeIndex(to)
 	if !ok || !s.aliveAt(ti) {
 		return fmt.Errorf("redeliver %v->%v: %w", from, to, peer.ErrPeerDown)
@@ -510,6 +567,9 @@ func eventLess(a, b heapEvent) bool {
 // Inject enqueues a message from outside the simulation (the experiment
 // harness), e.g. the initial JOIN or a broadcast trigger.
 func (s *Sim) Inject(from, to id.ID, m msg.Message) error {
+	if s.sharded() {
+		return s.sendSharded(nil, from, to, &m)
+	}
 	return s.send(from, to, &m)
 }
 
@@ -518,6 +578,10 @@ func (s *Sim) Inject(from, to id.ID, m msg.Message) error {
 // simultaneous failures is observed atomically, as the paper's methodology
 // induces them.
 func (s *Sim) flushDowns() {
+	if s.sharded() {
+		s.flushDownsSharded()
+		return
+	}
 	for len(s.pendingDowns) > 0 {
 		victim := s.pendingDowns[0]
 		s.pendingDowns = s.pendingDowns[1:]
@@ -672,6 +736,9 @@ func (s *Sim) releaseSlot(slot int32) {
 // self-sustaining rounds fire here would keep a latency-model run from ever
 // quiescing. Periodic rounds fire in RunFor.
 func (s *Sim) Drain() int {
+	if s.sharded() {
+		return s.drainSharded()
+	}
 	delivered := 0
 	s.flushDowns()
 	for len(s.heap) > 0 {
@@ -688,6 +755,9 @@ func (s *Sim) Drain() int {
 // gaps; traffic scheduled beyond the window stays pending for the next
 // RunFor or Drain.
 func (s *Sim) RunFor(d uint64) int {
+	if s.sharded() {
+		return s.runForSharded(d)
+	}
 	target := s.now + d
 	delivered := 0
 	s.flushDowns()
@@ -747,7 +817,11 @@ func (s *Sim) Fail(nodeID id.ID) {
 	s.nodes[ni].alive = false
 	s.setAliveBit(ni, false)
 	s.alive--
-	if len(s.watchers[nodeID]) > 0 {
+	if s.sharded() {
+		if s.watchedSharded(nodeID) {
+			s.pendingDowns = append(s.pendingDowns, nodeID)
+		}
+	} else if len(s.watchers[nodeID]) > 0 {
 		s.pendingDowns = append(s.pendingDowns, nodeID)
 	}
 }
@@ -770,6 +844,14 @@ func (s *Sim) Revive(nodeID id.ID) {
 	s.nodes[ni].parked = nil
 	for _, ev := range parked {
 		s.seq++
+		if s.sharded() {
+			if ev.kind == kindPeriodic {
+				s.enqueuePeriodic(s.now+ev.interval, s.seq, &ev)
+			} else {
+				s.enqueueAt(s.now, s.seq, &ev)
+			}
+			continue
+		}
 		slot := s.newSlot()
 		s.slab[slot] = ev
 		if ev.kind == kindPeriodic {
@@ -839,11 +921,21 @@ func (s *Sim) Process(nodeID id.ID) peer.Process {
 func (s *Sim) Rand() *rng.Rand { return s.rand }
 
 // Stats returns a copy of the simulator's counters.
-func (s *Sim) Stats() Stats { return s.stats }
+func (s *Sim) Stats() Stats {
+	if s.sharded() {
+		return s.statsSharded()
+	}
+	return s.stats
+}
 
 // Pending returns the number of queued, undelivered messages and one-shot
 // timers (periodic registrations are standing and not counted).
-func (s *Sim) Pending() int { return len(s.heap) }
+func (s *Sim) Pending() int {
+	if s.sharded() {
+		return s.pendingSharded()
+	}
+	return len(s.heap)
+}
 
 // reachable reports whether traffic may flow from a to b under the current
 // partition (the harness is responsible for injecting reset notifications
@@ -866,6 +958,10 @@ func (s *Sim) Partition(assign func(id.ID) int) {
 		s.partition[s.nodes[i].id] = assign(s.nodes[i].id)
 	}
 	// Break watched links that now cross the cut.
+	if s.sharded() {
+		s.partitionBreakSharded()
+		return
+	}
 	for watchedNode, ws := range s.watchers {
 		for watcher := range ws {
 			if !s.reachable(watcher, watchedNode) {

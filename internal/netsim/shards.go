@@ -1,0 +1,918 @@
+// The sharded wave/barrier engine: the multi-core execution mode of the
+// simulator (NewSharded with shards >= 2). The single-shard engine in
+// netsim.go processes one event at a time off a global heap; this engine
+// partitions the node table by dense index (idx mod shards), keeps every
+// shard's pending events in per-instant FIFO bucket vectors, and advances
+// virtual time as a sequence of deterministic barrier steps:
+//
+//  1. Wave formation (coordinator): the wave is every event due at the
+//     current instant T — the shard's bucket for T plus, in RunFor, due
+//     periodic rounds — each already in (at, seq) order.
+//  2. Hook pre-pass (coordinator, only when Tap or Intercept is installed):
+//     the wave is walked across all shards in global seq order and the
+//     fault-injection hook and trace tap run serially, exactly as the
+//     single-shard engine would run them. This is what keeps stateful
+//     injectors byte-deterministic: hook state evolves in a canonical
+//     order no matter how many shards execute the deliveries.
+//  3. Parallel delivery: each shard delivers its slice of the wave to its
+//     own nodes, in seq order per node. Handler output — sends, timers,
+//     periodic re-arms — is not enqueued yet; it is recorded in a per-shard
+//     output log tagged (parent seq, birth index).
+//  4. Canonical merge (coordinator): the shards' output logs, each already
+//     sorted by (parent seq, birth index), are S-way merged in that order;
+//     every record is assigned the next global sequence number, latency
+//     delays are drawn from the root stream in merge order, and the event
+//     is routed to its destination shard's bucket. Delay-0 output forms the
+//     next wave at the same instant; the loop repeats until the instant
+//     quiesces, then time advances to the next bucket.
+//
+// Because a FIFO-ordered serial run is exactly "waves processed in (parent
+// seq, birth) order", the merge reproduces the single-shard engine's total
+// delivery order per destination node: with the same seed, a run is
+// byte-identical across shard counts whenever no Intercept hook reschedules
+// traffic (and byte-identical across repeated runs of the same shard count
+// always — the determinism contract sharding must preserve).
+//
+// Shared mutable state during a parallel wave is confined to: the shard's
+// own buckets/outputs/stats, the destination node's process state (every
+// node belongs to exactly one shard), and whatever the host application's
+// Delivery callbacks touch — those must be synchronized by the caller when
+// shards >= 2 (the sim harness guards its tracker with a mutex).
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hyparview/internal/id"
+	"hyparview/internal/msg"
+	"hyparview/internal/peer"
+)
+
+// parallelMinWave is the smallest wave (events across all shards) worth
+// fanning out to shard goroutines; smaller waves are processed serially by
+// the coordinator, which is both faster (no wakeup latency) and identical in
+// outcome (shard slices touch disjoint state either way).
+const parallelMinWave = 64
+
+// waveLookahead is how far ahead of the delivery cursor runWave touches the
+// upcoming destinations' node records: far enough to overlap several DRAM
+// misses in the out-of-order window, near enough that the lines are still
+// cached when the cursor arrives.
+const waveLookahead = 12
+
+// sevent is one scheduled event in a shard's bucket, wave or periodic heap.
+type sevent struct {
+	at   uint64 // delivery instant (bucket entries: the bucket's time)
+	seq  uint64 // global sequence number, the deterministic tiebreaker
+	skip bool   // suppressed by the Intercept pre-pass (already counted)
+	ev   event
+}
+
+// outRec is one unit of handler output recorded during a parallel wave,
+// sequenced canonically at the barrier.
+type outRec struct {
+	pseq  uint64 // seq of the event whose handler produced this record
+	birth uint32 // order among that handler's outputs (re-arm first, then sends)
+	at    uint64 // absolute delivery time for timers and periodic re-arms
+	ev    event
+}
+
+// shardStats are the per-shard slices of Stats, summed on read.
+type shardStats struct {
+	sent         uint64
+	delivered    uint64
+	dropped      uint64
+	sendFailures uint64
+	bytesSent    uint64
+}
+
+// shard owns one partition of the node population (dense index mod shard
+// count) and all event state addressed to it.
+type shard struct {
+	sim *Sim
+	id  int
+
+	cur  []sevent // the wave slice being processed at the current instant
+	next []sevent // delay-0 outputs joining the next wave at the same instant
+
+	future map[uint64][]sevent // pending events keyed by instant
+	times  []uint64            // min-heap over future's keys
+	pool   [][]sevent          // recycled bucket vectors
+
+	pheap []sevent // periodic registrations, (at, seq) min-heap
+	due   []sevent // scratch: due periodics pulled for the current instant
+
+	out  []outRec // wave output log, (pseq, birth)-ordered by construction
+	opos int      // merge cursor into out
+	ppos int      // pre-pass cursor into cur
+
+	// pseq/birth identify the event whose handler is currently running, so
+	// sends and timers land in out with their canonical tag.
+	pseq  uint64
+	birth uint32
+
+	waveDelivered int // deliveries made in the current wave (coordinator-read)
+	wireDone      int // wire messages consumed this wave (coordinator-read)
+
+	queued int // events in future buckets + next (Pending)
+
+	touched uint64 // lookahead-touch sink; see runWave
+
+	// watching[d] is the set of nodes on this shard holding an open
+	// connection to d. Writes come only from this shard's nodes (their
+	// Watch/Unwatch), so no lock is needed; the coordinator unions the
+	// per-shard sets when d fails.
+	watching map[id.ID]map[id.ID]struct{}
+
+	stats shardStats
+}
+
+// sharded reports whether the wave/barrier engine is active.
+func (s *Sim) sharded() bool { return len(s.shards) > 0 }
+
+// Shards returns the shard count: 1 for the single-shard heap engine.
+func (s *Sim) Shards() int {
+	if !s.sharded() {
+		return 1
+	}
+	return len(s.shards)
+}
+
+// NewSharded returns a simulator whose event engine is partitioned into
+// shards parallel shards (see the package comment of this file). A shard
+// count of one (or less) returns the classic single-shard engine — the
+// reference the conformance suite compares against. Nodes are assigned to
+// shards by dense index modulo the shard count.
+func NewSharded(seed uint64, shards int) *Sim {
+	if shards <= 1 {
+		return New(seed)
+	}
+	s := New(seed)
+	s.shards = make([]shard, shards)
+	// On a single-P runtime goroutine fan-out cannot overlap anything and
+	// only adds scheduling latency per wave; the serial path is identical in
+	// outcome (shard slices touch disjoint state either way), so take it.
+	// Captured once: tests that want the concurrent path under -race raise
+	// GOMAXPROCS before construction.
+	s.waveParallel = runtime.GOMAXPROCS(0) > 1
+	for i := range s.shards {
+		s.shards[i] = shard{
+			sim:      s,
+			id:       i,
+			future:   make(map[uint64][]sevent),
+			watching: make(map[id.ID]map[id.ID]struct{}),
+		}
+	}
+	return s
+}
+
+// shardOf returns the shard owning the node at table index idx.
+func (s *Sim) shardOf(idx int32) *shard {
+	return &s.shards[int(idx)%len(s.shards)]
+}
+
+// ---- enqueue paths -------------------------------------------------------
+
+// grabVec takes a recycled bucket vector — the largest one pooled. Wave
+// vectors grow to the broadcast's peak wave (millions of events at 1M
+// nodes); handing a small bucket vector to a big wave would regrow it
+// through doubling reallocs of hundreds of MB per broadcast. Picking the
+// max-capacity vector makes the two biggest arrays ping-pong between the
+// cur/next wave slots, so the steady state re-allocates nothing. The pool
+// stays a handful of entries, so the scan is noise.
+func (sh *shard) grabVec() []sevent {
+	if n := len(sh.pool); n > 0 {
+		best := 0
+		for i := 1; i < n; i++ {
+			if cap(sh.pool[i]) > cap(sh.pool[best]) {
+				best = i
+			}
+		}
+		v := sh.pool[best]
+		sh.pool[best] = sh.pool[n-1]
+		sh.pool = sh.pool[:n-1]
+		return v[:0]
+	}
+	return make([]sevent, 0, 64)
+}
+
+// putVec returns a vector's backing storage to the pool.
+func (sh *shard) putVec(v []sevent) {
+	if cap(v) > 0 {
+		sh.pool = append(sh.pool, v[:0])
+	}
+}
+
+// enqueueAt routes one sequenced event to its destination shard: the next
+// wave when it lands on the active instant, a future bucket otherwise.
+func (s *Sim) enqueueAt(at, seq uint64, ev *event) {
+	sh := s.shardOf(ev.to)
+	se := sevent{at: at, seq: seq, ev: *ev}
+	if s.instantActive && at == s.now {
+		sh.next = append(sh.next, se)
+		sh.queued++
+		return
+	}
+	b, ok := sh.future[at]
+	if !ok {
+		b = sh.grabVec()
+		pushTime(&sh.times, at)
+	}
+	sh.future[at] = append(b, se)
+	sh.queued++
+}
+
+// enqueuePeriodic registers a periodic event on its shard's heap.
+func (s *Sim) enqueuePeriodic(at, seq uint64, ev *event) {
+	sh := s.shardOf(ev.to)
+	pushSevent(&sh.pheap, sevent{at: at, seq: seq, ev: *ev})
+}
+
+// sendSharded is the wave-engine send path. During a parallel wave the event
+// is recorded in the sending shard's output log for canonical sequencing at
+// the barrier; from coordinator context (harness Inject, OnCycle and
+// OnPeerDown handlers, hooks) it is sequenced immediately, exactly like the
+// single-shard engine. sh is the sending node's shard (nil for harness
+// sends).
+func (s *Sim) sendSharded(sh *shard, from, to id.ID, m *msg.Message) error {
+	ti, ok := s.nodeIndex(to)
+	if !ok || !s.aliveAt(ti) || !s.reachable(from, to) {
+		if sh != nil && s.inWave {
+			sh.stats.sendFailures++
+		} else {
+			s.stats.SendFailures++
+		}
+		return fmt.Errorf("send %v->%v: %w", from, to, peer.ErrPeerDown)
+	}
+	if sh != nil && s.inWave {
+		// Overflow is resolved at the barrier (the in-flight total is not
+		// known mid-wave); the tentative counters are rolled back there if
+		// the merge sheds this event.
+		sh.out = append(sh.out, outRec{pseq: sh.pseq, birth: sh.birth,
+			ev: event{from: from, to: ti, kind: kindMessage, m: *m}})
+		sh.birth++
+		sh.stats.sent++
+		sh.stats.bytesSent += uint64(m.EncodedSize())
+		return nil
+	}
+	// Coordinator context: synchronous overflow, immediate sequencing —
+	// identical semantics to the single-shard engine.
+	if s.wire >= s.queueLimit() {
+		s.stats.Overflowed++
+		return fmt.Errorf("%w: %d messages in flight (message storm?)", ErrOverflow, s.wire)
+	}
+	s.wire++
+	var delay uint64
+	if s.Latency != nil {
+		delay = s.Latency(from, to, s.rand)
+	}
+	s.seq++
+	s.enqueueAt(s.now+delay, s.seq, &event{from: from, to: ti, kind: kindMessage, m: *m})
+	s.stats.Sent++
+	s.stats.BytesSent += uint64(m.EncodedSize())
+	return nil
+}
+
+// redeliverSharded is Redeliver on the wave engine: hooks run on the
+// coordinator (the pre-pass), so re-entry always sequences immediately.
+func (s *Sim) redeliverSharded(from, to id.ID, m *msg.Message, delay uint64) error {
+	ti, ok := s.nodeIndex(to)
+	if !ok || !s.aliveAt(ti) {
+		return fmt.Errorf("redeliver %v->%v: %w", from, to, peer.ErrPeerDown)
+	}
+	if s.wire >= s.queueLimit() {
+		s.stats.Overflowed++
+		return fmt.Errorf("%w: %d messages in flight (message storm?)", ErrOverflow, s.wire)
+	}
+	s.wire++
+	s.seq++
+	s.enqueueAt(s.now+delay, s.seq, &event{from: from, to: ti, kind: kindMessage, exempt: true, m: *m})
+	s.stats.Redelivered++
+	return nil
+}
+
+// scheduleSharded handles After (oneshot=true) and Every from an endpoint.
+func (s *Sim) scheduleSharded(sh *shard, self id.ID, idx int32, oneshot bool, delay uint64, m *msg.Message) {
+	kind, interval := kindPeriodic, delay
+	if oneshot {
+		kind, interval = kindTimer, 0
+	}
+	ev := event{from: self, to: idx, kind: kind, interval: interval, m: *m}
+	if sh != nil && s.inWave {
+		sh.out = append(sh.out, outRec{pseq: sh.pseq, birth: sh.birth, at: s.now + delay, ev: ev})
+		sh.birth++
+		return
+	}
+	s.seq++
+	if oneshot {
+		s.enqueueAt(s.now+delay, s.seq, &ev)
+	} else {
+		s.enqueuePeriodic(s.now+delay, s.seq, &ev)
+	}
+}
+
+// queueLimit resolves MaxQueue.
+func (s *Sim) queueLimit() int {
+	if s.MaxQueue > 0 {
+		return s.MaxQueue
+	}
+	return 64 << 20
+}
+
+// ---- the barrier loop ----------------------------------------------------
+
+// minOnceTime returns the earliest instant holding bucketed traffic.
+func (s *Sim) minOnceTime() (uint64, bool) {
+	var best uint64
+	found := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if len(sh.times) > 0 && (!found || sh.times[0] < best) {
+			best, found = sh.times[0], true
+		}
+	}
+	return best, found
+}
+
+// minPeriodicTime returns the earliest pending periodic fire.
+func (s *Sim) minPeriodicTime() (uint64, bool) {
+	var best uint64
+	found := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if len(sh.pheap) > 0 && (!found || sh.pheap[0].at < best) {
+			best, found = sh.pheap[0].at, true
+		}
+	}
+	return best, found
+}
+
+// drainSharded is Drain on the wave engine: periodic schedule frozen.
+func (s *Sim) drainSharded() int {
+	delivered := 0
+	s.flushDowns()
+	for {
+		t, ok := s.minOnceTime()
+		if !ok {
+			return delivered
+		}
+		delivered += s.runInstant(t, false)
+		s.flushDowns()
+	}
+}
+
+// runForSharded is RunFor on the wave engine: periodic rounds fire too.
+func (s *Sim) runForSharded(d uint64) int {
+	target := s.now + d
+	delivered := 0
+	s.flushDowns()
+	for {
+		t, ok := s.minOnceTime()
+		if pt, pok := s.minPeriodicTime(); pok && (!ok || pt < t) {
+			t, ok = pt, true
+		}
+		if !ok || t > target {
+			if target > s.now {
+				s.now = target
+			}
+			return delivered
+		}
+		delivered += s.runInstant(t, true)
+		s.flushDowns()
+	}
+}
+
+// runInstant processes every event due at instant t (which may lie in the
+// past for stale periodic rounds after a Drain advanced the clock), wave by
+// wave, until the instant quiesces. It returns the number of deliveries.
+func (s *Sim) runInstant(t uint64, periodic bool) int {
+	if t > s.now {
+		s.now = t
+	}
+	t = s.now
+	s.instantActive = true
+	delivered := 0
+
+	// Wave formation: the instant's bucket on each shard, with due periodic
+	// rounds spliced in by (at, seq).
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.formWave(t, periodic)
+	}
+
+	for {
+		total := 0
+		for i := range s.shards {
+			total += len(s.shards[i].cur)
+		}
+		if total == 0 {
+			break
+		}
+		if s.Tap != nil || s.Intercept != nil {
+			s.prePass()
+		}
+		s.inWave = true
+		if s.waveParallel && total >= parallelMinWave {
+			s.waveWG.Add(len(s.shards))
+			for i := range s.shards {
+				go s.shards[i].runWave(&s.waveWG)
+			}
+			s.waveWG.Wait()
+		} else {
+			for i := range s.shards {
+				s.shards[i].runWave(nil)
+			}
+		}
+		s.inWave = false
+		for i := range s.shards {
+			sh := &s.shards[i]
+			delivered += sh.waveDelivered
+			s.wire -= sh.wireDone
+		}
+		s.mergeOutputs()
+		// The next wave at this instant is whatever delay-0 output landed.
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.putVec(sh.cur)
+			sh.cur, sh.next = sh.next, sh.grabVec()
+			sh.queued -= len(sh.cur)
+			sh.ppos = 0
+		}
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.putVec(sh.cur)
+		sh.cur = nil
+		sh.putVec(sh.next)
+		sh.next = nil
+	}
+	s.instantActive = false
+	return delivered
+}
+
+// formWave assembles the shard's slice of the instant-t wave: the t bucket
+// plus (in RunFor) periodic rounds due at or before t, ordered by (at, seq).
+func (sh *shard) formWave(t uint64, periodic bool) {
+	var bucket []sevent
+	if b, ok := sh.future[t]; ok {
+		delete(sh.future, t)
+		popTimeValue(&sh.times, t)
+		bucket = b
+		sh.queued -= len(b)
+	}
+	if !periodic || len(sh.pheap) == 0 || sh.pheap[0].at > t {
+		// Common case: the bucket is the wave.
+		if bucket != nil {
+			sh.putVec(sh.cur)
+			sh.cur = bucket
+		} else {
+			sh.cur = sh.grabVec()
+		}
+		sh.next = sh.grabVec()
+		sh.ppos = 0
+		return
+	}
+	// Pull due periodic rounds in (at, seq) order; rounds whose deadline
+	// already passed (Drain froze the schedule while time advanced) come
+	// first, then rounds at exactly t interleave with the bucket by seq.
+	sh.due = sh.due[:0]
+	for len(sh.pheap) > 0 && sh.pheap[0].at <= t {
+		sh.due = append(sh.due, popSevent(&sh.pheap))
+	}
+	cur := sh.grabVec()
+	di, bi := 0, 0
+	for di < len(sh.due) && sh.due[di].at < t {
+		cur = append(cur, sh.due[di])
+		di++
+	}
+	for di < len(sh.due) || bi < len(bucket) {
+		if bi >= len(bucket) || (di < len(sh.due) && sh.due[di].seq < bucket[bi].seq) {
+			cur = append(cur, sh.due[di])
+			di++
+		} else {
+			cur = append(cur, bucket[bi])
+			bi++
+		}
+	}
+	sh.putVec(bucket)
+	sh.putVec(sh.cur)
+	sh.cur = cur
+	sh.next = sh.grabVec()
+	sh.ppos = 0
+}
+
+// prePass walks the wave across all shards in global seq order, running the
+// Intercept hook and the Tap exactly as the single-shard engine would:
+// serially, in canonical delivery order, on the coordinator goroutine. Hook
+// verdicts are recorded on the events (skip / replaced message) and applied
+// during the parallel phase.
+func (s *Sim) prePass() {
+	for {
+		var best *shard
+		for i := range s.shards {
+			sh := &s.shards[i]
+			if sh.ppos < len(sh.cur) && (best == nil || sh.cur[sh.ppos].seq < best.cur[best.ppos].seq) {
+				best = sh
+			}
+		}
+		if best == nil {
+			return
+		}
+		se := &best.cur[best.ppos]
+		best.ppos++
+		ev := &se.ev
+		if ev.kind != kindMessage {
+			continue
+		}
+		dst := &s.nodes[ev.to]
+		if !dst.alive || !s.reachable(ev.from, dst.id) {
+			continue // dropped in the parallel phase; hooks never see it
+		}
+		if s.Intercept != nil && !ev.exempt {
+			hooked := ev.m
+			repl, deliver := s.Intercept(dst.id, &hooked)
+			if !deliver {
+				se.skip = true
+				s.stats.FaultDropped++
+				continue
+			}
+			if repl != nil {
+				hooked = *repl
+			}
+			ev.m = hooked
+		}
+		if s.Tap != nil {
+			s.Tap(ev.from, dst.id, ev.m)
+		}
+	}
+}
+
+// runWave delivers the shard's slice of the current wave. It runs on a shard
+// goroutine for large waves and on the coordinator for small ones; either
+// way it touches only this shard's nodes, buckets, output log and counters.
+func (sh *shard) runWave(wg *sync.WaitGroup) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	s := sh.sim
+	count, wireDone := 0, 0
+	for i := range sh.cur {
+		// Lookahead touch: the wave vector already knows the next few
+		// destinations, so start their node records' cache misses now and
+		// let out-of-order execution overlap them with this delivery. The
+		// serial heap engine structurally cannot do this — the next event
+		// is only known after the current pop. At 1M nodes every delivery
+		// touches DRAM-cold node state, and this memory-level parallelism
+		// is worth more than the arithmetic around it.
+		if i+waveLookahead < len(sh.cur) {
+			ahead := &s.nodes[sh.cur[i+waveLookahead].ev.to]
+			if ahead.alive {
+				sh.touched++ // keeps the load live past dead-code elimination
+			}
+		}
+		se := &sh.cur[i]
+		ev := &se.ev
+		if ev.kind == kindMessage {
+			wireDone++
+		}
+		dst := &s.nodes[ev.to]
+		if !dst.alive {
+			if ev.kind == kindMessage {
+				sh.stats.dropped++
+			} else {
+				dst.parked = append(dst.parked, *ev)
+			}
+			continue
+		}
+		sh.pseq, sh.birth = se.seq, 1
+		if ev.kind == kindPeriodic {
+			// Re-arm before delivering (birth 0: ahead of the handler's own
+			// output), clamping missed deadlines like time.Ticker.
+			next := se.at + ev.interval
+			if next <= s.now {
+				next = s.now + ev.interval
+			}
+			sh.out = append(sh.out, outRec{pseq: se.seq, birth: 0, at: next, ev: *ev})
+		}
+		if ev.kind == kindMessage {
+			if !s.reachable(ev.from, dst.id) {
+				sh.stats.dropped++
+				continue
+			}
+			if se.skip {
+				continue // suppressed by the Intercept pre-pass
+			}
+		}
+		dst.proc.Deliver(ev.from, ev.m)
+		count++
+		if ev.kind == kindMessage {
+			sh.stats.delivered++
+		}
+	}
+	sh.waveDelivered = count
+	sh.wireDone = wireDone
+}
+
+// mergeOutputs sequences every shard's wave output canonically: an S-way
+// merge by (parent seq, birth index) — each shard's log is already sorted —
+// assigning global sequence numbers, drawing latency delays from the root
+// stream in merge order, and routing events to their destination shards.
+// This order is exactly the order in which a single-shard run would have
+// made the same schedule calls, which is what keeps traces byte-identical
+// across shard counts.
+func (s *Sim) mergeOutputs() {
+	for i := range s.shards {
+		s.shards[i].opos = 0
+	}
+	limit := s.queueLimit()
+	for {
+		var src *shard
+		for i := range s.shards {
+			sh := &s.shards[i]
+			if sh.opos >= len(sh.out) {
+				continue
+			}
+			if src == nil {
+				src = sh
+				continue
+			}
+			a, b := &sh.out[sh.opos], &src.out[src.opos]
+			if a.pseq < b.pseq || (a.pseq == b.pseq && a.birth < b.birth) {
+				src = sh
+			}
+		}
+		if src == nil {
+			break
+		}
+		r := &src.out[src.opos]
+		src.opos++
+		switch r.ev.kind {
+		case kindMessage:
+			var delay uint64
+			if s.Latency != nil {
+				delay = s.Latency(r.ev.from, s.nodes[r.ev.to].id, s.rand)
+			}
+			if s.wire >= limit {
+				// Shed at the barrier: the sender already returned nil, so
+				// roll its tentative counters back and count the overflow.
+				s.stats.Overflowed++
+				src.stats.sent--
+				src.stats.bytesSent -= uint64(r.ev.m.EncodedSize())
+				continue
+			}
+			s.wire++
+			s.seq++
+			s.enqueueAt(s.now+delay, s.seq, &r.ev)
+		case kindTimer:
+			s.seq++
+			s.enqueueAt(r.at, s.seq, &r.ev)
+		case kindPeriodic:
+			s.seq++
+			s.enqueuePeriodic(r.at, s.seq, &r.ev)
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].out = s.shards[i].out[:0]
+	}
+}
+
+// ---- sharded liveness bookkeeping ---------------------------------------
+
+// flushDownsSharded is flushDowns over the per-shard watch tables: for each
+// pending victim the watcher sets are unioned across shards, sorted, and
+// notified exactly like the single-shard engine.
+func (s *Sim) flushDownsSharded() {
+	for len(s.pendingDowns) > 0 {
+		victim := s.pendingDowns[0]
+		s.pendingDowns = s.pendingDowns[1:]
+		watcherIDs := s.gatherWatchers(victim, nil)
+		if len(watcherIDs) == 0 {
+			continue
+		}
+		sortIDs(watcherIDs)
+		vDead := true
+		if vi, ok := s.nodeIndex(victim); ok && s.nodes[vi].alive {
+			vDead = false
+		}
+		for _, w := range watcherIDs {
+			wi, ok := s.nodeIndex(w)
+			if !ok || !s.nodes[wi].alive {
+				s.dropWatch(w, victim) // dead watchers never hear anything again
+				continue
+			}
+			// A crash resets every connection; a partition resets only the
+			// links that cross the cut.
+			if !vDead && s.reachable(w, victim) {
+				continue
+			}
+			s.dropWatch(w, victim)
+			if obs, ok := s.nodes[wi].proc.(peer.FailureObserver); ok {
+				obs.OnPeerDown(victim)
+			}
+		}
+	}
+}
+
+// partitionBreakSharded queues reset notifications for watched links that
+// cross a freshly installed partition, deterministically (victims sorted,
+// deduplicated) regardless of map iteration order.
+func (s *Sim) partitionBreakSharded() {
+	var broken []id.ID
+	for i := range s.shards {
+		for watchedNode, ws := range s.shards[i].watching {
+			for watcher := range ws {
+				if !s.reachable(watcher, watchedNode) {
+					broken = append(broken, watchedNode)
+					break
+				}
+			}
+		}
+	}
+	sortIDs(broken)
+	for i, v := range broken {
+		if i > 0 && broken[i-1] == v {
+			continue
+		}
+		s.pendingDowns = append(s.pendingDowns, v)
+	}
+}
+
+// watch registers watcher (a node on shard sh) as watching dst.
+func (sh *shard) watch(watcher, dst id.ID) {
+	ws := sh.watching[dst]
+	if ws == nil {
+		ws = make(map[id.ID]struct{}, 4)
+		sh.watching[dst] = ws
+	}
+	ws[watcher] = struct{}{}
+}
+
+// unwatch cancels a watch registration.
+func (sh *shard) unwatch(watcher, dst id.ID) {
+	if ws := sh.watching[dst]; ws != nil {
+		delete(ws, watcher)
+		if len(ws) == 0 {
+			delete(sh.watching, dst)
+		}
+	}
+}
+
+// watchedSharded reports whether any node watches victim.
+func (s *Sim) watchedSharded(victim id.ID) bool {
+	for i := range s.shards {
+		if len(s.shards[i].watching[victim]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// gatherWatchers appends every watcher of victim to buf (unsorted).
+func (s *Sim) gatherWatchers(victim id.ID, buf []id.ID) []id.ID {
+	for i := range s.shards {
+		for w := range s.shards[i].watching[victim] {
+			buf = append(buf, w)
+		}
+	}
+	return buf
+}
+
+// dropWatch removes watcher's registration on victim from whichever shard
+// holds it (the watcher's own shard).
+func (s *Sim) dropWatch(watcher, victim id.ID) {
+	if wi, ok := s.nodeIndex(watcher); ok {
+		s.shardOf(wi).unwatch(watcher, victim)
+	}
+}
+
+// pendingSharded counts queued once events across shards.
+func (s *Sim) pendingSharded() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].queued
+	}
+	return total
+}
+
+// statsSharded merges the per-shard counter slices into the global Stats.
+func (s *Sim) statsSharded() Stats {
+	out := s.stats
+	for i := range s.shards {
+		st := &s.shards[i].stats
+		out.Sent += st.sent
+		out.Delivered += st.delivered
+		out.Dropped += st.dropped
+		out.SendFailures += st.sendFailures
+		out.BytesSent += st.bytesSent
+	}
+	return out
+}
+
+// ---- small heaps ---------------------------------------------------------
+
+// pushTime inserts t into the binary min-heap h. Each instant is pushed at
+// most once (bucket creation is guarded by the future map).
+func pushTime(h *[]uint64, t uint64) {
+	*h = append(*h, t)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[i] >= s[p] {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// popTimeValue removes t from the heap; t is always the minimum (instants
+// are consumed in time order).
+func popTimeValue(h *[]uint64, t uint64) {
+	s := *h
+	if len(s) == 0 || s[0] != t {
+		// Defensive: scan (cannot happen under the consume-in-order
+		// discipline, but a silent mis-pop would corrupt time ordering).
+		for i := range s {
+			if s[i] == t {
+				s[i] = s[len(s)-1]
+				*h = s[:len(s)-1]
+				siftTime(*h, i)
+				return
+			}
+		}
+		return
+	}
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	siftTime(*h, 0)
+}
+
+func siftTime(s []uint64, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(s) && s[l] < s[least] {
+			least = l
+		}
+		if r < len(s) && s[r] < s[least] {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+}
+
+// pushSevent inserts se into the (at, seq) min-heap h.
+func pushSevent(h *[]sevent, se sevent) {
+	*h = append(*h, se)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !seventLess(&s[i], &s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// popSevent removes the minimum from h.
+func popSevent(h *[]sevent) sevent {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(s) && seventLess(&s[l], &s[least]) {
+			least = l
+		}
+		if r < len(s) && seventLess(&s[r], &s[least]) {
+			least = r
+		}
+		if least == i {
+			return top
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+}
+
+func seventLess(a, b *sevent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

@@ -114,3 +114,31 @@ func TestInjectionPreservesTraceDeterminism(t *testing.T) {
 		t.Error("injected trace identical to clean trace")
 	}
 }
+
+// TestInjectionTraceDeterminismShardMatrix extends the injection-determinism
+// pin over the sharded engine: at every shard count, same seed ⇒ identical
+// fault stats and byte-identical traces. The contract under injection is per
+// shard count — the hook pre-pass runs injector state in canonical order, but
+// Redeliver artifacts are sequenced at hook time (before the wave's own
+// output), so the interleaving legitimately differs from the single-shard
+// engine's; aggregate equivalence across counts is pinned separately by the
+// conformance suite.
+func TestInjectionTraceDeterminismShardMatrix(t *testing.T) {
+	for _, shards := range shardMatrix {
+		opts := Options{N: 120, Seed: 7, Shards: shards, Broadcast: BroadcastPlumtree}
+		a, sa := injectedTrace(opts, 5, 3)
+		b, sb := injectedTrace(opts, 5, 3)
+		if a == "" {
+			t.Fatalf("shards=%d: empty event trace", shards)
+		}
+		if sa.Inspected == 0 || sa.Dropped == 0 {
+			t.Fatalf("shards=%d: injector idle: %+v", shards, sa)
+		}
+		if sa != sb {
+			t.Fatalf("shards=%d: fault stats diverge under the same seed: %+v vs %+v", shards, sa, sb)
+		}
+		if a != b {
+			t.Fatalf("shards=%d: same seed produced diverging traces under injection", shards)
+		}
+	}
+}

@@ -12,6 +12,8 @@ package sim
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"hyparview/internal/core"
 	"hyparview/internal/cyclon"
@@ -119,6 +121,14 @@ type Options struct {
 	N int
 	// Seed drives all randomness of the run.
 	Seed uint64
+	// Shards selects the simulator's event engine: 1 (or 0, the default)
+	// runs the classic single-shard heap engine; >= 2 runs the sharded
+	// wave/barrier engine (netsim.NewSharded), which partitions the node
+	// table across that many shards and delivers event waves in parallel.
+	// Determinism is preserved per (Seed, Shards) pair, and aggregate
+	// results (reliability, RMR, delivery counts) match the single-shard
+	// engine — the cross-shard conformance suite pins this.
+	Shards int
 	// Fanout is the gossip fan-out for the peer-sampling protocols
 	// (paper §5.1: 4). HyParView floods and ignores it.
 	Fanout int
@@ -201,6 +211,9 @@ func (o Options) withDefaults() Options {
 	if o.Fanout == 0 {
 		o.Fanout = 4
 	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	if o.StabilizationCycles == 0 {
 		o.StabilizationCycles = 50
 	}
@@ -229,6 +242,12 @@ type Cluster struct {
 	timed      bool
 	roundStart map[uint64]uint64
 	roundLat   map[uint64]*latencyAgg
+
+	// sharded is true when Opts.Shards >= 2: the delivery callback then runs
+	// concurrently from shard goroutines and takes mu. The single-shard path
+	// never touches the lock.
+	sharded bool
+	mu      sync.Mutex
 }
 
 // latencyAgg collects the virtual-time latency of every delivery of one
@@ -244,8 +263,9 @@ func NewCluster(proto Protocol, opts Options) *Cluster {
 	c := &Cluster{
 		Protocol:   proto,
 		Opts:       opts,
-		Sim:        netsim.New(opts.Seed),
+		Sim:        netsim.NewSharded(opts.Seed, opts.Shards),
 		Tracker:    gossip.NewTracker(),
+		sharded:    opts.Shards > 1,
 		gossipers:  make(map[id.ID]gossip.Broadcaster, opts.N),
 		membership: make(map[id.ID]peer.Membership, opts.N),
 		routers:    make(map[id.ID]*pubsub.Router),
@@ -388,6 +408,14 @@ func (c *Cluster) Router(nodeID id.ID) *pubsub.Router { return c.routers[nodeID]
 // the reliability tracker and, in latency mode, aggregates virtual-time
 // delivery latencies for rounds the harness is measuring.
 func (c *Cluster) deliver(round uint64, topic uint32, payload []byte, hops int) {
+	if c.sharded {
+		// Waves deliver on shard goroutines concurrently; the tracker and
+		// latency aggregates are the one piece of cross-node shared state in
+		// the harness. All updates commute (counter adds, max, set-insert), so
+		// aggregate results are independent of arrival order.
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	if c.timed {
 		if start, ok := c.roundStart[round]; ok {
 			agg := c.roundLat[round]
@@ -420,6 +448,12 @@ func (c *Cluster) endRound(round uint64) (maxLat, avgLat float64, samples []floa
 	delete(c.roundLat, round)
 	if agg == nil || len(agg.samples) == 0 {
 		return 0, 0, nil
+	}
+	if c.sharded {
+		// Concurrent delivery makes the sample order arrival-dependent; sort
+		// so float summation (and hence the reported means) is deterministic
+		// and matches the single-shard engine bit for bit.
+		sort.Float64s(agg.samples)
 	}
 	var sum float64
 	for _, lat := range agg.samples {
