@@ -215,6 +215,9 @@ func snapshot(agent *transport.Agent) string {
 		s += fmt.Sprintf(" pubsub[pub=%d frames=%d dlv=%d nosub=%d]",
 			ps.Published, ps.Frames, ps.Delivered, ps.NoSubscriber)
 	}
+	ts := agent.TransportStats()
+	s += fmt.Sprintf(" tx[frames=%d writes=%d fpw=%.1f reads=%d ovf=%d]",
+		ts.FramesSent, ts.WriteCalls, ts.FramesPerWrite(), ts.ReadSyscalls, ts.Overflowed)
 	return s
 }
 

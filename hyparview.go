@@ -141,6 +141,11 @@ type AgentBroadcastStats = transport.BroadcastStats
 // TransportConfig tunes the TCP transport's timeouts.
 type TransportConfig = transport.Config
 
+// TransportStats is a snapshot of a TCP agent's data-plane counters: frames
+// and vectored writes (their ratio is frames-per-syscall on the send path),
+// kernel reads, overflow sheds, and fault-injection drops.
+type TransportStats = transport.Stats
+
 // NewAgent starts a HyParView node listening on listenAddr.
 func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 	return transport.NewAgent(listenAddr, cfg)

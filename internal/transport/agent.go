@@ -144,6 +144,17 @@ type pingState struct {
 	sent time.Time
 }
 
+// inboxOp is one unit of actor-loop work: a network or scheduler delivery
+// (fn nil — dispatch from/m) or an arbitrary operation (fn non-nil). The
+// struct form keeps the per-frame hot path free of the closure allocation a
+// chan func() costs — the delivery fields are copied into the channel
+// buffer, nothing escapes.
+type inboxOp struct {
+	fn   func()
+	from id.ID
+	m    msg.Message
+}
+
 // Agent runs one HyParView node over real TCP, hosting the full protocol
 // stack of the paper and its companion papers: the HyParView core, the
 // selected broadcast layer (flood or Plumtree), and optionally the X-BOT
@@ -164,7 +175,7 @@ type Agent struct {
 	pings       map[uint64]pingState
 	replySlots  chan struct{} // caps concurrent PONG dial-back goroutines
 	probePeriod time.Duration
-	inbox       chan func()
+	inbox       chan inboxOp
 	stop        chan struct{}
 	done        chan struct{}
 	probeTicker *time.Ticker
@@ -180,7 +191,7 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 		// senders block, TCP backpressure propagates, and remote peers'
 		// write timeouts expel us — precisely the slow-node handling the
 		// paper adopts from NeEM (§5.5).
-		inbox:      make(chan func(), 256),
+		inbox:      make(chan inboxOp, 256),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		pings:      make(map[uint64]pingState),
@@ -193,12 +204,12 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 	tr, err := Listen(listenAddr, cfg.Transport,
 		func(from id.ID, m msg.Message) {
 			select {
-			case a.inbox <- func() { a.dispatch(from, m) }:
+			case a.inbox <- inboxOp{from: from, m: m}:
 			case <-a.stop:
 			}
 		},
 		func(peerID id.ID) {
-			op := func() { a.broadcaster.OnPeerDown(peerID) }
+			op := inboxOp{fn: func() { a.broadcaster.OnPeerDown(peerID) }}
 			// This callback can fire on the actor goroutine itself (a Send
 			// that fails drops the connection synchronously); blocking on a
 			// full inbox there would self-deadlock, so fall back to an
@@ -222,9 +233,11 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 	// re-enter the actor loop as self-deliveries at the top of the protocol
 	// stack, exactly as the simulator delivers them.
 	a.sched = newClockScheduler(func(m msg.Message) {
-		op := func() { a.broadcaster.Deliver(a.tr.Self(), m) }
+		// Scheduled messages ride the delivery path (fn nil): dispatch
+		// routes tick kinds straight down the broadcaster stack, exactly
+		// like a self-delivery in the simulator, with no closure per tick.
 		select {
-		case a.inbox <- op:
+		case a.inbox <- inboxOp{from: a.tr.Self(), m: m}:
 		case <-a.stop:
 		}
 	}, a.stop)
@@ -335,7 +348,11 @@ func (a *Agent) loop() {
 	for {
 		select {
 		case op := <-a.inbox:
-			op()
+			if op.fn != nil {
+				op.fn()
+			} else {
+				a.dispatch(op.from, op.m)
+			}
 		case <-probe:
 			a.onProbeTick()
 		case <-a.stop:
@@ -351,33 +368,38 @@ func (a *Agent) dispatch(from id.ID, m msg.Message) {
 	switch m.Type {
 	case msg.Ping:
 		// Echo the nonce back. A pinger we hold a cached connection to gets
-		// the reply inline; one that reached us over an inbound connection
-		// (an optimizer measuring a candidate link) needs a dial-back, which
-		// runs off the actor goroutine so that a peer that died right after
-		// pinging cannot stall the agent for a dial timeout. Failed sends
-		// need no handling: the watch machinery reports broken links.
-		pong := msg.Message{Type: msg.Pong, Sender: a.tr.Self(), Round: m.Round}
-		switch {
-		case a.tr.Connected(from):
-			_ = a.tr.Send(from, pong)
-		default:
-			// The dial-back goroutines are capped: a flood of pings from
-			// unroutable senders must not pile up one dial-timeout-blocked
-			// goroutine each. Past the cap the reply is dropped — the
-			// measurement is best-effort and the prober retries.
-			select {
-			case a.replySlots <- struct{}{}:
-				go func() {
-					defer func() { <-a.replySlots }()
-					_ = a.tr.Send(from, pong)
-				}()
-			default:
-			}
+		// the reply inline — the pong literal stays on the stack, keeping
+		// the steady-state probe path allocation-free on this side. One that
+		// reached us over an inbound connection (an optimizer measuring a
+		// candidate link) needs a dial-back, which runs off the actor
+		// goroutine so that a peer that died right after pinging cannot
+		// stall the agent for a dial timeout. Failed sends need no handling:
+		// the watch machinery reports broken links.
+		if a.tr.Connected(from) {
+			_ = a.tr.Send(from, msg.Message{Type: msg.Pong, Sender: a.tr.Self(), Round: m.Round})
+			return
 		}
+		a.pongDialback(from, m.Round)
 	case msg.Pong:
 		a.onPong(from, m.Round)
 	default:
 		a.broadcaster.Deliver(from, m)
+	}
+}
+
+// pongDialback answers a PING from a sender we hold no cached connection
+// to. The dial-back goroutines are capped: a flood of pings from unroutable
+// senders must not pile up one dial-timeout-blocked goroutine each. Past the
+// cap the reply is dropped — the measurement is best-effort and the prober
+// retries.
+func (a *Agent) pongDialback(from id.ID, nonce uint64) {
+	select {
+	case a.replySlots <- struct{}{}:
+		go func() {
+			defer func() { <-a.replySlots }()
+			_ = a.tr.Send(from, msg.Message{Type: msg.Pong, Sender: a.tr.Self(), Round: nonce})
+		}()
+	default:
 	}
 }
 
@@ -451,7 +473,7 @@ func (a *Agent) onProbeTick() {
 func (a *Agent) call(op func()) error {
 	donech := make(chan struct{})
 	select {
-	case a.inbox <- func() { op(); close(donech) }:
+	case a.inbox <- inboxOp{fn: func() { op(); close(donech) }}:
 	case <-a.stop:
 		return ErrClosed
 	}
