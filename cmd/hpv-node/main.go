@@ -2,6 +2,11 @@
 // deployment the paper deferred to future work (§6), hosting the full
 // protocol stack — HyParView membership, flood or Plumtree broadcast, and
 // optionally the X-BOT overlay optimizer driven by live RTT measurements.
+// Half-open neighbor detection is on by default (-suspect): an active peer
+// whose RTT probes go unanswered for 3 consecutive rounds is suspected and
+// expelled without waiting for a TCP write timeout; transient connection
+// failures heal through the transport's backoff redialer instead of
+// churning the view.
 //
 // Start a contact node, then join others to it and type lines to broadcast:
 //
@@ -60,7 +65,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal
 		views     = fs.Duration("views", 5*time.Second, "view snapshot print period (0 = off)")
 		broadcast = fs.String("broadcast", "flood", "broadcast layer: flood or plumtree")
 		optimize  = fs.Bool("optimize", false, "run the X-BOT optimizer over live RTT measurements")
-		probe     = fs.Duration("probe", 0, "RTT probe period with -optimize (0 = cycle period)")
+		probe     = fs.Duration("probe", 0, "RTT probe period with -optimize or -suspect (0 = cycle period)")
+		suspect   = fs.Int("suspect", 3, "consecutive unanswered probes before a neighbor is suspected half-open (0 = off)")
 		topicsArg = fs.String("topics", "", "comma-separated topic IDs to subscribe to (enables the pub/sub router)")
 		pubRate   = fs.Float64("publish-rate", 0, "synthetic publishes per second, round-robin over -topics (0 = stdin only)")
 		batch     = fs.Int("batch", 16, "pub/sub publish-side batch size (messages per frame)")
@@ -96,11 +102,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer, stop <-chan os.Signal
 		}
 	}
 	cfg := transport.AgentConfig{
-		CyclePeriod: *period,
-		Broadcast:   mode,
-		Optimize:    *optimize,
-		ProbePeriod: *probe,
-		OnDeliver:   func(p []byte) { echo(string(p)) },
+		CyclePeriod:  *period,
+		Broadcast:    mode,
+		Optimize:     *optimize,
+		ProbePeriod:  *probe,
+		SuspectAfter: *suspect,
+		OnDeliver:    func(p []byte) { echo(string(p)) },
 	}
 	if len(topics) > 0 {
 		cfg.PubSub = &pubsub.Config{
@@ -216,8 +223,9 @@ func snapshot(agent *transport.Agent) string {
 			ps.Published, ps.Frames, ps.Delivered, ps.NoSubscriber)
 	}
 	ts := agent.TransportStats()
-	s += fmt.Sprintf(" tx[frames=%d writes=%d fpw=%.1f reads=%d ovf=%d]",
-		ts.FramesSent, ts.WriteCalls, ts.FramesPerWrite(), ts.ReadSyscalls, ts.Overflowed)
+	s += fmt.Sprintf(" tx[frames=%d writes=%d fpw=%.1f reads=%d ovf=%d redial=%d susp=%d drain=%d races=%d]",
+		ts.FramesSent, ts.WriteCalls, ts.FramesPerWrite(), ts.ReadSyscalls, ts.Overflowed,
+		ts.Redials, ts.Suspected, ts.Drained, ts.DialRacesLost)
 	return s
 }
 

@@ -118,7 +118,10 @@ type ScampConfig = scamp.Config
 type Agent = transport.Agent
 
 // AgentConfig configures a TCP agent. Broadcast selects the broadcast layer,
-// Optimize enables RTT-driven X-BOT overlay optimization.
+// Optimize enables RTT-driven X-BOT overlay optimization, and SuspectAfter
+// arms half-open neighbor detection: peers whose RTT probes go unanswered
+// for that many consecutive rounds are expelled without waiting for a TCP
+// write timeout.
 type AgentConfig = transport.AgentConfig
 
 // AgentBroadcastMode selects a TCP agent's broadcast layer.
@@ -138,12 +141,19 @@ const (
 // accounting (deliveries, duplicates, forwards, failed sends).
 type AgentBroadcastStats = transport.BroadcastStats
 
-// TransportConfig tunes the TCP transport's timeouts.
+// TransportConfig tunes the TCP transport: dial/write timeouts, queue and
+// batch sizing, and the connection lifecycle — redial backoff (RedialBase/
+// RedialCap/RedialBudget), the suspicion window bounding how long a watched
+// outage may last before the failure detector fires, the graceful-drain
+// deadline for deliberate teardowns, and the socket-level fault-injection
+// seam (Dial/WrapConn, see internal/faults.Sockets).
 type TransportConfig = transport.Config
 
-// TransportStats is a snapshot of a TCP agent's data-plane counters: frames
-// and vectored writes (their ratio is frames-per-syscall on the send path),
-// kernel reads, overflow sheds, and fault-injection drops.
+// TransportStats is a snapshot of a TCP agent's data-plane and lifecycle
+// counters: frames and vectored writes (their ratio is frames-per-syscall on
+// the send path), kernel reads, overflow sheds, fault-injection drops, and
+// the connection lifecycle manager's accounting — backoff redials, dial
+// races lost, half-open links condemned by suspicion, and graceful drains.
 type TransportStats = transport.Stats
 
 // NewAgent starts a HyParView node listening on listenAddr.

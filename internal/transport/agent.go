@@ -84,9 +84,20 @@ type AgentConfig struct {
 	// between optimization attempts.
 	XBot xbot.Config
 	// ProbePeriod is how often active-view links are re-measured with a
-	// PING/PONG round trip when Optimize is set. Default: CyclePeriod when
-	// positive, else 1s.
+	// PING/PONG round trip when Optimize or SuspectAfter enables the prober.
+	// Default: CyclePeriod when positive, else 1s.
 	ProbePeriod time.Duration
+
+	// SuspectAfter, when positive, arms half-open link detection: an active
+	// peer whose PINGs go unanswered for this many consecutive probe rounds
+	// is marked suspected — the transport closes its socket proactively and
+	// NeighborDown fires without waiting for a write to time out. This is
+	// the failure-detector sharpening the paper's TCP-as-detector (§4.1)
+	// needs for stalled-but-not-closed peers: a wedged process whose kernel
+	// keeps ACKing looks healthy to every write. The effective suspicion
+	// window is SuspectAfter × ProbePeriod; setting SuspectAfter starts the
+	// probe ticker even without Optimize. 0 disables (the default).
+	SuspectAfter int
 
 	// PubSub, when set, wraps the broadcast layer in a pubsub.Router built
 	// from this configuration and enables the agent's Subscribe/Publish API —
@@ -163,23 +174,25 @@ type inboxOp struct {
 // tick and API call is funneled through one actor goroutine, so the core
 // protocol needs no locking — the same discipline the simulator enforces.
 type Agent struct {
-	tr          *Transport
-	node        *core.Node
-	xnode       *xbot.Node     // non-nil when optimizing
-	ptree       *plumtree.Node // non-nil in BroadcastPlumtree mode
-	router      *pubsub.Router // non-nil when AgentConfig.PubSub is set
-	broadcaster gossip.Broadcaster
-	rand        *rng.Rand
-	rtt         *rttOracle
-	sched       *clockScheduler
-	pings       map[uint64]pingState
-	replySlots  chan struct{} // caps concurrent PONG dial-back goroutines
-	probePeriod time.Duration
-	inbox       chan inboxOp
-	stop        chan struct{}
-	done        chan struct{}
-	probeTicker *time.Ticker
-	closeOnce   sync.Once
+	tr           *Transport
+	node         *core.Node
+	xnode        *xbot.Node     // non-nil when optimizing
+	ptree        *plumtree.Node // non-nil in BroadcastPlumtree mode
+	router       *pubsub.Router // non-nil when AgentConfig.PubSub is set
+	broadcaster  gossip.Broadcaster
+	rand         *rng.Rand
+	rtt          *rttOracle
+	sched        *clockScheduler
+	pings        map[uint64]pingState
+	ledger       *probeLedger // non-nil when SuspectAfter > 0
+	suspectAfter int
+	replySlots   chan struct{} // caps concurrent PONG dial-back goroutines
+	probePeriod  time.Duration
+	inbox        chan inboxOp
+	stop         chan struct{}
+	done         chan struct{}
+	probeTicker  *time.Ticker
+	closeOnce    sync.Once
 }
 
 // NewAgent binds a listener on listenAddr and starts the actor loop. Close
@@ -209,21 +222,7 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 			}
 		},
 		func(peerID id.ID) {
-			op := inboxOp{fn: func() { a.broadcaster.OnPeerDown(peerID) }}
-			// This callback can fire on the actor goroutine itself (a Send
-			// that fails drops the connection synchronously); blocking on a
-			// full inbox there would self-deadlock, so fall back to an
-			// asynchronous hand-off that exits with the agent.
-			select {
-			case a.inbox <- op:
-			default:
-				go func() {
-					select {
-					case a.inbox <- op:
-					case <-a.stop:
-					}
-				}()
-			}
+			a.enqueue(func() { a.broadcaster.OnPeerDown(peerID) })
 		})
 	if err != nil {
 		return nil, err
@@ -254,12 +253,24 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 		ccfg.ShuffleInterval = ticks(cfg.CyclePeriod)
 	}
 	a.node = core.New(env, ccfg)
-	if cfg.OnNeighborUp != nil || cfg.OnNeighborDown != nil {
-		a.node.SetListener(core.Listener{
-			NeighborUp:   cfg.OnNeighborUp,
-			NeighborDown: cfg.OnNeighborDown,
-		})
-	}
+	userDown := cfg.OnNeighborDown
+	a.node.SetListener(core.Listener{
+		NeighborUp: cfg.OnNeighborUp,
+		NeighborDown: func(p id.ID, reason core.DownReason) {
+			if reason != core.DownFailed {
+				// Deliberate departure (demotion to passive, or the peer's
+				// DISCONNECT): retire the connection gracefully. The drain is
+				// deferred through the inbox because the current dispatch may
+				// still queue a courtesy DISCONNECT for p — core fires this
+				// callback before sending it — and the flush must see that
+				// frame. Failures need no drain: the link is already gone.
+				a.enqueue(func() { a.tr.Drain(p) })
+			}
+			if userDown != nil {
+				userDown(p, reason)
+			}
+		},
+	})
 
 	// Membership stack: X-BOT (when optimizing) wraps the HyParView core and
 	// is itself a peer.Membership, so the broadcast layer stacks on top
@@ -275,6 +286,14 @@ func NewAgent(listenAddr string, cfg AgentConfig) (*Agent, error) {
 		}
 		a.xnode = xbot.New(env, a.node, xcfg, a.rtt)
 		member = a.xnode
+	}
+	a.suspectAfter = cfg.SuspectAfter
+	if a.suspectAfter > 0 {
+		a.ledger = newProbeLedger()
+	}
+	// The PING/PONG prober serves two masters: the X-BOT RTT oracle
+	// (Optimize) and half-open suspicion (SuspectAfter). Either one arms it.
+	if cfg.Optimize || a.suspectAfter > 0 {
 		a.probePeriod = cfg.ProbePeriod
 		if a.probePeriod <= 0 {
 			if cfg.CyclePeriod > 0 {
@@ -334,6 +353,25 @@ func ticks(d time.Duration) uint64 {
 		t = 1
 	}
 	return t
+}
+
+// enqueue hands fn to the actor loop without blocking. It may be called
+// from the actor goroutine itself (a listener or peer-down callback firing
+// mid-dispatch); blocking on a full inbox there would self-deadlock, so a
+// full inbox falls back to an asynchronous hand-off that exits with the
+// agent.
+func (a *Agent) enqueue(fn func()) {
+	op := inboxOp{fn: fn}
+	select {
+	case a.inbox <- op:
+	default:
+		go func() {
+			select {
+			case a.inbox <- op:
+			case <-a.stop:
+			}
+		}()
+	}
 }
 
 // loop is the actor goroutine: the only place protocol state is touched.
@@ -419,6 +457,9 @@ func (a *Agent) sendPing(dst id.ID) {
 		return // connection just broke; watch/send-failure paths handle it
 	}
 	a.pings[nonce] = pingState{peer: dst, sent: time.Now()}
+	if a.ledger != nil {
+		a.ledger.sent(dst)
+	}
 }
 
 // onPong completes one RTT measurement and feeds the EWMA oracle.
@@ -431,12 +472,15 @@ func (a *Agent) onPong(from id.ID, nonce uint64) {
 	if a.rtt != nil {
 		a.rtt.observe(from, time.Since(st.sent))
 	}
+	if a.ledger != nil {
+		a.ledger.answered(from)
+	}
 }
 
-// onProbeTick re-measures every active-view link and garbage-collects the
-// measurement state: pings that never came back (the peer died — the failure
-// detector reports that separately) and RTT estimates for peers no longer in
-// either view.
+// onProbeTick re-measures every active-view link, advances the half-open
+// suspicion ledger, and garbage-collects the measurement state: pings that
+// never came back (the peer died — the failure detector reports that
+// separately) and RTT estimates for peers no longer in either view.
 func (a *Agent) onProbeTick() {
 	// The GC cutoff keeps an absolute floor above any plausible RTT: with a
 	// short probe period (tests use 50ms), 3×period alone would collect
@@ -454,6 +498,18 @@ func (a *Agent) onProbeTick() {
 	}
 	active := a.node.Active()
 	for _, p := range active {
+		if a.ledger != nil {
+			if misses := a.ledger.tick(p); misses >= a.suspectAfter {
+				// Half-open verdict: the link swallowed SuspectAfter
+				// consecutive probe rounds. Condemn it now — Suspect fires
+				// the watch, which re-enters through the inbox as the usual
+				// peer-down repair path.
+				a.ledger.forget(p)
+				a.forgetPings(p)
+				a.tr.Suspect(p)
+				continue
+			}
+		}
 		a.sendPing(p)
 	}
 	keep := make(map[id.ID]bool, len(active))
@@ -466,7 +522,22 @@ func (a *Agent) onProbeTick() {
 	for _, st := range a.pings {
 		keep[st.peer] = true
 	}
-	a.rtt.prune(keep)
+	if a.rtt != nil {
+		a.rtt.prune(keep)
+	}
+	if a.ledger != nil {
+		a.ledger.prune(keep)
+	}
+}
+
+// forgetPings drops every outstanding ping aimed at peer (it was just
+// suspected; a late PONG must not resurrect its measurement state).
+func (a *Agent) forgetPings(peer id.ID) {
+	for nonce, st := range a.pings {
+		if st.peer == peer {
+			delete(a.pings, nonce)
+		}
+	}
 }
 
 // call runs op on the actor goroutine and waits for completion.
@@ -620,11 +691,13 @@ func (a *Agent) BroadcastStats() BroadcastStats {
 	return out
 }
 
-// TransportStats returns the transport's frame counters: frames written to
-// sockets, frames shed by per-peer send-queue overflow (each a Send that
-// returned peer.ErrOverflow), and inbound deliveries suppressed by a
-// fault-injection hook. Safe without the actor goroutine: counters are
-// atomic.
+// TransportStats returns the transport's frame and lifecycle counters:
+// frames written to sockets, frames shed by per-peer send-queue overflow
+// (each a Send that returned peer.ErrOverflow), inbound deliveries
+// suppressed by a fault-injection hook, and the connection lifecycle
+// manager's accounting — backoff redials, dial races lost, links condemned
+// by half-open suspicion, and graceful drains. Safe without the actor
+// goroutine: counters are atomic.
 func (a *Agent) TransportStats() Stats { return a.tr.Stats() }
 
 // PlumtreeStats returns the Plumtree control-plane counters; ok is false

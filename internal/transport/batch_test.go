@@ -93,9 +93,11 @@ func fillQueue(t *testing.T, tr *Transport, dst id.ID, payload []byte) int {
 
 // TestWriteFailureMidBatchDrainsQueue pins the failure-drain contract under
 // batching: when a write fails with a batch gathered and more frames still
-// queued, the connection must drop exactly once (one watch notification),
-// and every frame — the in-flight batch and the queued remainder — must go
-// back to the pool without leaking.
+// queued on an unwatched link, the link tears down quietly — every frame,
+// the in-flight batch and the queued remainder, goes back to the pool
+// without leaking, the cache entry is retired, and no watch notification
+// fires (nobody asked for one; watched links get the redial machinery
+// instead, pinned in lifecycle_test.go).
 func TestWriteFailureMidBatchDrainsQueue(t *testing.T) {
 	sink := newRawSink(t)
 	var ca collector
@@ -106,7 +108,6 @@ func TestWriteFailureMidBatchDrainsQueue(t *testing.T) {
 	if err := a.Probe(dst); err != nil {
 		t.Fatal(err)
 	}
-	a.Watch(dst)
 	// Block the writer mid-flush and back the queue up behind it.
 	fillQueue(t, a, dst, make([]byte, 32<<10))
 
@@ -118,27 +119,24 @@ func TestWriteFailureMidBatchDrainsQueue(t *testing.T) {
 	}
 	_ = c.Close()
 
-	downs := ca.waitDowns(t, 1)
-	if downs[0] != dst {
-		t.Errorf("down = %v, want %v", downs[0], dst)
-	}
-	// Exactly once: the writer's failure path and the reader's breakage
-	// detection race toward dropConn, but only the first may fire the watch.
-	deadline := time.Now().Add(2 * time.Second)
-	for scratchBalance.Load() != balanceBefore && time.Now().Before(deadline) {
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if scratchBalance.Load() == balanceBefore && !a.Connected(dst) {
+			break
+		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	if got := scratchBalance.Load(); got != balanceBefore {
 		t.Errorf("scratch balance %d after drain, want %d: frames leaked from the failure path", got, balanceBefore)
 	}
+	if a.Connected(dst) {
+		t.Error("connection still cached after mid-batch failure")
+	}
 	ca.mu.Lock()
 	nDowns := len(ca.downs)
 	ca.mu.Unlock()
-	if nDowns != 1 {
-		t.Errorf("watch fired %d times, want exactly 1", nDowns)
-	}
-	if a.Connected(dst) {
-		t.Error("connection still cached after mid-batch failure")
+	if nDowns != 0 {
+		t.Errorf("watch fired %d times on an unwatched link, want 0", nDowns)
 	}
 }
 

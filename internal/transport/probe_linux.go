@@ -1,0 +1,46 @@
+//go:build linux
+
+package transport
+
+import (
+	"net"
+	"syscall"
+)
+
+// connAlive health-checks a cached connection without consuming data: a
+// non-blocking MSG_PEEK recv. A readable byte or EAGAIN means the
+// connection is live; a zero-byte return (orderly EOF) or a pending socket
+// error (ECONNRESET and friends) means the remote is gone even though no
+// local read or write has observed it yet — exactly the dead-cached-conn
+// case Probe used to miss. Connections that do not expose a raw descriptor
+// (fault-injection wrappers may not forward one) report alive: the peek is
+// an opportunistic sharpening of the failure detector, not its foundation.
+func connAlive(c net.Conn) bool {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return true
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return true
+	}
+	alive := true
+	ctrlErr := raw.Control(func(fd uintptr) {
+		var buf [1]byte
+		n, _, rerr := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case n > 0:
+			// Data pending: the reader will consume it; the link is live.
+		case rerr == syscall.EAGAIN || rerr == syscall.EWOULDBLOCK:
+			// Idle but open.
+		default:
+			// n == 0 with no error is an orderly EOF; any other errno is a
+			// pending socket error. Either way the connection is dead.
+			alive = false
+		}
+	})
+	if ctrlErr != nil {
+		return true
+	}
+	return alive
+}

@@ -100,6 +100,70 @@ func (o *rttOracle) estimate(peer id.ID) (float64, bool) {
 	return e, ok
 }
 
+// probeLedger is the bookkeeping behind half-open suspicion
+// (AgentConfig.SuspectAfter): per-peer "a PING is in flight unanswered"
+// flags and the count of consecutive probe rounds entered in that state. A
+// stalled-but-not-closed peer keeps ACKing at the kernel level, so writes
+// succeed and the watch machinery stays silent; unanswered application-level
+// probes are the only timely evidence, and N consecutive misses is the
+// suspicion verdict the agent converts into Transport.Suspect. Owned by the
+// agent's actor goroutine; no locks.
+type probeLedger struct {
+	awaiting map[id.ID]bool // PING sent, no PONG yet
+	misses   map[id.ID]int  // consecutive probe rounds entered while awaiting
+}
+
+func newProbeLedger() *probeLedger {
+	return &probeLedger{
+		awaiting: make(map[id.ID]bool),
+		misses:   make(map[id.ID]int),
+	}
+}
+
+// sent records an in-flight PING to peer.
+func (p *probeLedger) sent(peer id.ID) { p.awaiting[peer] = true }
+
+// answered clears peer's suspicion state: any PONG proves the link live.
+func (p *probeLedger) answered(peer id.ID) {
+	delete(p.awaiting, peer)
+	delete(p.misses, peer)
+}
+
+// tick is called once per probe round per active peer, before that round's
+// PING goes out, and returns the consecutive-miss count: entering a round
+// with the previous PING still unanswered is one miss; entering clean
+// resets the streak. A short outage self-heals — the first answered probe
+// after a redial wipes the streak — so only sustained silence accumulates
+// toward the suspicion threshold.
+func (p *probeLedger) tick(peer id.ID) int {
+	if p.awaiting[peer] {
+		p.misses[peer]++
+	} else {
+		delete(p.misses, peer)
+	}
+	return p.misses[peer]
+}
+
+// forget drops peer entirely (suspected, or left the membership horizon).
+func (p *probeLedger) forget(peer id.ID) {
+	delete(p.awaiting, peer)
+	delete(p.misses, peer)
+}
+
+// prune drops state for peers outside keep, mirroring rttOracle.prune.
+func (p *probeLedger) prune(keep map[id.ID]bool) {
+	for q := range p.awaiting {
+		if !keep[q] {
+			delete(p.awaiting, q)
+		}
+	}
+	for q := range p.misses {
+		if !keep[q] {
+			delete(p.misses, q)
+		}
+	}
+}
+
 // prune drops estimates for peers outside keep, bounding the map to the
 // node's current membership horizon (both views plus in-flight pings).
 func (o *rttOracle) prune(keep map[id.ID]bool) {

@@ -140,22 +140,22 @@ func TestProbeSemantics(t *testing.T) {
 	if err := a.Probe(bID); err != nil {
 		t.Errorf("probe of live peer failed: %v", err)
 	}
-	addr := b.Addr()
 	_ = b.Close()
-	// Cached connection is now dead, but Probe only checks dialability of
-	// the cache; a follow-up Send must surface the failure.
+	// The cached connection is now dead. Probe used to answer from the cache
+	// without checking it — a false "reachable" until the reader noticed the
+	// close; now the peek check (or the retired cache plus a failed redial)
+	// must surface ErrPeerDown.
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		err := a.Send(bID, msg.Message{Type: msg.Gossip, Sender: a.Self()})
+		err := a.Probe(bID)
 		if errors.Is(err, peer.ErrPeerDown) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("send to closed peer never failed")
+			t.Fatal("probe of dead cached peer never failed")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	_ = addr
 }
 
 func TestWatchFiresOnPeerDeath(t *testing.T) {
